@@ -1,0 +1,98 @@
+"""Fig. 1 — multi-level block floorplan evolution of a 16-macro design.
+
+The paper's opening example: the first partition finds two blocks of 8
+macros and a cell-only block between them (a); each macro block is then
+partitioned again (b, c) until all 16 macro positions are fixed with
+space left for their standard cells (d).
+
+The bench builds an equivalent design (two 8-macro subsystems joined by
+a macro-free switch fabric), runs HiDaP with tracing, prints the ASCII
+evolution and asserts the multi-level structure: a top level with two
+8-macro blocks, deeper levels that split them, and 16 legally placed
+macros at the end.
+"""
+
+import random
+
+from benchmarks.conftest import pedantic
+from repro.core import HiDaP, HiDaPConfig
+from repro.core.config import Effort
+from repro.gen.designs import die_for
+from repro.gen.macros import make_macro_library
+from repro.gen.patterns import build_memsys, build_xbar
+from repro.gen.spec import SubsystemSpec
+from repro.netlist.builder import ModuleBuilder
+from repro.netlist.core import Design
+from repro.viz.ascii_art import ascii_floorplan
+
+
+def build_16_macro_design() -> Design:
+    """Two 8-macro memory subsystems talking through a cell-only
+    crossbar — the paper's Fig. 1 configuration."""
+    rng = random.Random(7)
+    design = Design("fig1")
+    library = make_macro_library(seed=11, data_width=32)
+    left = build_memsys(design, SubsystemSpec("memsys", "left", 8, 32,
+                                              stages=4, filler_cells=60),
+                        library, rng)
+    xbar = build_xbar(design, SubsystemSpec("xbar", "mid", 0, 32,
+                                            stages=4, filler_cells=120),
+                      library, rng)
+    right = build_memsys(design, SubsystemSpec("memsys", "right", 8, 32,
+                                               stages=4, filler_cells=60),
+                         library, rng)
+    top = ModuleBuilder("fig1_top")
+    top.input("chip_in", 32)
+    top.output("chip_out", 32)
+    top.wire("a", 32)
+    top.wire("b", 32)
+    il = top.instance(left, "u_left")
+    ix = top.instance(xbar, "u_mid")
+    ir = top.instance(right, "u_right")
+    top.connect_bus("chip_in", il, "din")
+    top.connect_bus("a", il, "dout")
+    top.connect_bus("a", ix, "din")
+    top.connect_bus("b", ix, "dout")
+    top.connect_bus("b", ir, "din")
+    top.connect_bus("chip_out", ir, "dout")
+    design.add_module(top.build())
+    design.set_top("fig1_top")
+    return design
+
+
+def test_fig1_multilevel_evolution(benchmark):
+    design = build_16_macro_design()
+    die_w, die_h = die_for(design, utilization=0.5)
+
+    def place():
+        placer = HiDaP(HiDaPConfig(seed=2, effort=Effort.FAST,
+                                   keep_trace=True))
+        return placer.place(design, die_w, die_h)
+
+    placement = pedantic(benchmark, place)
+
+    print(f"\nFig. 1 evolution ({len(placement.traces)} levels, "
+          f"die {die_w}x{die_h}):")
+    for trace in placement.traces[:4]:
+        labels = []
+        for name, count in zip(trace.block_names,
+                               trace.block_macro_counts):
+            short = name.split("/")[-1]
+            labels.append(f"{short}({count})" if count else short)
+        print(f"  depth {trace.depth} at "
+              f"'{trace.level_path or '<top>'}': {', '.join(labels)}")
+    print("\nfinal macro placement:")
+    rects = [(p.path.split("/")[-1], p.rect)
+             for p in placement.macros.values()]
+    print(ascii_floorplan(placement.die, rects, width=56))
+
+    # Fig. 1a: the first partition holds two 8-macro blocks.
+    top_trace = placement.traces[0]
+    counts = sorted(top_trace.block_macro_counts, reverse=True)
+    assert counts[0] == 8 and counts[1] == 8
+    # Deeper levels split those blocks further.
+    assert any(t.depth >= 1 for t in placement.traces)
+    # Fig. 1d: all 16 macros legally placed.
+    assert len(placement.macros) == 16
+    assert placement.macro_overlap_area() == 0.0
+    assert placement.macros_inside_die()

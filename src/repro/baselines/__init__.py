@@ -1,0 +1,20 @@
+"""Baseline macro-placement flows.
+
+The paper compares HiDaP against a state-of-the-art commercial
+floorplanner (``IndEDA``) and handcrafted floorplans by expert back-end
+engineers (``handFP``).  Neither referee is available, so this package
+implements behavioural stand-ins (see DESIGN.md §1.2):
+
+* :func:`repro.baselines.indeda.place_indeda` — flat connectivity-driven
+  perimeter packing with greedy refinement: hierarchy- and
+  dataflow-blind, macros on the block walls, fast;
+* :func:`repro.baselines.handfp.place_handfp` — an expert oracle that
+  consumes the generator's ground-truth dataflow order, allocates
+  die strips per subsystem, packs macros on the north/south walls
+  leaving a cell corridor, and refines with a large iteration budget.
+"""
+
+from repro.baselines.indeda import place_indeda
+from repro.baselines.handfp import place_handfp
+
+__all__ = ["place_indeda", "place_handfp"]

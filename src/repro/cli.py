@@ -1,0 +1,190 @@
+"""Command-line interface: ``hidap <subcommand>``.
+
+Subcommands
+-----------
+``gen``    generate a suite design to JSON (and optionally Verilog);
+``place``  place a design's macros with a chosen flow, emit JSON/SVG;
+``suite``  run the paper's three-flow comparison and print the tables;
+``info``   print design statistics and graph sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.config import Effort, HiDaPConfig
+from repro.core.hidap import HiDaP
+from repro.baselines.handfp import place_handfp
+from repro.baselines.indeda import place_indeda
+from repro.eval.suite import run_suite
+from repro.eval.tables import format_table2, format_table3
+from repro.gen.designs import build_design, die_for, suite_specs
+from repro.hiergraph.gnet import build_gnet
+from repro.hiergraph.gseq import build_gseq
+from repro.netlist.flatten import flatten
+from repro.netlist.jsonio import load_design, save_design
+from repro.netlist.stats import design_stats
+from repro.netlist.verilog import design_to_verilog
+from repro.viz.svg import svg_floorplan
+
+
+def _spec_by_name(name: str, scale: str):
+    for spec in suite_specs(scale):
+        if spec.name == name:
+            return spec
+    raise SystemExit(f"unknown suite design {name!r}")
+
+
+def cmd_gen(args: argparse.Namespace) -> int:
+    spec = _spec_by_name(args.design, args.scale)
+    design, _truth = build_design(spec)
+    save_design(design, args.out)
+    print(f"wrote {args.out}: {design_stats(design).summary()}")
+    if args.verilog:
+        with open(args.verilog, "w") as handle:
+            handle.write(design_to_verilog(design))
+        print(f"wrote {args.verilog}")
+    return 0
+
+
+def cmd_place(args: argparse.Namespace) -> int:
+    if args.design.endswith(".json"):
+        design = load_design(args.design)
+        truth = None
+    else:
+        spec = _spec_by_name(args.design, args.scale)
+        design, truth = build_design(spec)
+    die_w, die_h = die_for(design) if args.die is None else args.die
+
+    if args.flow == "hidap":
+        config = HiDaPConfig(seed=args.seed, lam=args.lam,
+                             effort=Effort(args.effort))
+        placement = HiDaP(config).place(design, die_w, die_h)
+    elif args.flow == "indeda":
+        placement = place_indeda(design, die_w, die_h)
+    elif args.flow == "handfp":
+        if truth is None:
+            raise SystemExit("handfp needs a generated design "
+                             "(ground truth)")
+        placement = place_handfp(design, truth, die_w, die_h)
+    else:
+        raise SystemExit(f"unknown flow {args.flow!r}")
+
+    print(placement.summary())
+    out = {
+        "design": placement.design_name,
+        "flow": placement.flow_name,
+        "die": [die_w, die_h],
+        "macros": {
+            placed.path: {
+                "x": placed.rect.x, "y": placed.rect.y,
+                "w": placed.rect.w, "h": placed.rect.h,
+                "orientation": placed.orientation.value}
+            for placed in placement.macros.values()},
+    }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(out, handle, indent=1)
+        print(f"wrote {args.out}")
+    if args.svg:
+        rects = [(p.path, p.rect) for p in placement.macros.values()]
+        with open(args.svg, "w") as handle:
+            handle.write(svg_floorplan(placement.die, rects))
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    designs = args.designs.split(",") if args.designs else None
+    flows = tuple(args.flows.split(",")) if args.flows else None
+    kwargs = {} if flows is None else {"flows": flows}
+    result = run_suite(scale=args.scale, designs=designs,
+                       seed=args.seed, effort=Effort(args.effort),
+                       verbose=True, **kwargs)
+    print()
+    print(format_table3(result.rows, result.design_info))
+    print()
+    print(format_table2(result.rows))
+    print(f"\nsuite wall-clock: {result.total_seconds:.1f}s")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    if args.design.endswith(".json"):
+        design = load_design(args.design)
+    else:
+        design, _truth = build_design(_spec_by_name(args.design,
+                                                    args.scale))
+    stats = design_stats(design)
+    print(stats.summary())
+    flat = flatten(design)
+    gnet = build_gnet(flat)
+    gseq = build_gseq(gnet, flat)
+    print(f"flat: {flat}")
+    print(f"gnet: {gnet}")
+    print(f"gseq: {gseq}")
+    print(f"die (55% util): {die_for(design)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hidap",
+        description="RTL-aware dataflow-driven macro placement "
+                    "(DATE 2019 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen", help="generate a suite design")
+    p.add_argument("design", help="suite name (c1..c8)")
+    p.add_argument("--scale", default="bench",
+                   choices=("tiny", "bench", "full"))
+    p.add_argument("--out", default="design.json")
+    p.add_argument("--verilog", default=None)
+    p.set_defaults(func=cmd_gen)
+
+    p = sub.add_parser("place", help="place macros")
+    p.add_argument("design", help="suite name or design .json")
+    p.add_argument("--flow", default="hidap",
+                   choices=("hidap", "indeda", "handfp"))
+    p.add_argument("--scale", default="bench",
+                   choices=("tiny", "bench", "full"))
+    p.add_argument("--lam", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--effort", default="normal",
+                   choices=("fast", "normal", "high"))
+    p.add_argument("--die", type=float, nargs=2, default=None,
+                   metavar=("W", "H"))
+    p.add_argument("--out", default=None, help="placement JSON path")
+    p.add_argument("--svg", default=None, help="floorplan SVG path")
+    p.set_defaults(func=cmd_place)
+
+    p = sub.add_parser("suite", help="run the three-flow comparison")
+    p.add_argument("--scale", default="tiny",
+                   choices=("tiny", "bench", "full"))
+    p.add_argument("--designs", default=None,
+                   help="comma-separated subset, e.g. c1,c3")
+    p.add_argument("--flows", default=None,
+                   help="comma-separated flows "
+                        "(default: indeda,hidap-best3,handfp)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--effort", default="fast",
+                   choices=("fast", "normal", "high"))
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("info", help="print design statistics")
+    p.add_argument("design", help="suite name or design .json")
+    p.add_argument("--scale", default="bench",
+                   choices=("tiny", "bench", "full"))
+    p.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""HiDaP: the paper's hierarchical dataflow-driven macro placer.
+
+The public entry point is :class:`repro.core.hidap.HiDaP` (re-exported
+here), implementing Algorithm 1: hierarchy-tree construction, bottom-up
+shape curves, recursive block floorplanning (Algorithm 2: declustering,
+target-area assignment, dataflow inference, layout generation) and the
+macro-flipping post-pass.
+"""
+
+from repro.core.config import Effort, HiDaPConfig
+from repro.core.decluster import BlockSeed, DeclusterResult, decluster
+from repro.core.hidap import HiDaP
+from repro.core.result import LevelTrace, MacroPlacement, PlacedMacro
+
+__all__ = [
+    "BlockSeed",
+    "DeclusterResult",
+    "Effort",
+    "HiDaP",
+    "HiDaPConfig",
+    "LevelTrace",
+    "MacroPlacement",
+    "PlacedMacro",
+    "decluster",
+]

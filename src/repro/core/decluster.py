@@ -1,0 +1,144 @@
+"""Hierarchical declustering (paper Algorithm 3 / Sect. IV-B).
+
+Given the hierarchy node being floorplanned, find the hierarchy cut
+whose members become the blocks of this level.  Nodes with macros or
+with sufficient area form HCB (blocks); the rest are HCG (glue) whose
+area is later absorbed by nearby blocks.  Over-large macro-free nodes
+are opened to expose internal structure.
+
+Two deviations from the literal pseudocode, both required for the
+algorithm to make progress (see DESIGN.md §3): the root is always
+opened, and macros instantiated *directly* at an opened node become
+single-macro pseudo-blocks (the pseudocode only considers tree nodes,
+which would silently drop level-local macros).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hiergraph.hierarchy import HierNode
+from repro.netlist.flatten import FlatDesign
+
+
+@dataclass
+class BlockSeed:
+    """A block candidate: a hierarchy subtree or a single direct macro."""
+
+    name: str
+    node: Optional[HierNode] = None       # subtree-backed block
+    macro_cell: Optional[int] = None      # macro-backed pseudo-block
+
+    @property
+    def is_macro_seed(self) -> bool:
+        return self.macro_cell is not None
+
+    def area(self, flat: FlatDesign) -> float:
+        if self.is_macro_seed:
+            return flat.cells[self.macro_cell].ctype.area
+        return self.node.area
+
+    def macro_count(self) -> int:
+        if self.is_macro_seed:
+            return 1
+        return self.node.macro_count
+
+    def macros(self) -> List[int]:
+        if self.is_macro_seed:
+            return [self.macro_cell]
+        return list(self.node.macros)
+
+    def hier_path(self) -> str:
+        if self.is_macro_seed:
+            return ""            # pseudo-blocks have no subtree path
+        return self.node.path
+
+    def __repr__(self) -> str:
+        kind = "macro" if self.is_macro_seed else "node"
+        return f"BlockSeed({self.name}:{kind})"
+
+
+@dataclass
+class DeclusterResult:
+    """The hierarchy cut: blocks (HCB) and glue (HCG)."""
+
+    blocks: List[BlockSeed] = field(default_factory=list)
+    glue: List[HierNode] = field(default_factory=list)
+    #: Direct non-macro cells of opened nodes (they are glue too, but
+    #: are not covered by any HCG subtree).
+    loose_glue_cells: List[int] = field(default_factory=list)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+
+def decluster(level: HierNode, flat: FlatDesign,
+              min_area_frac: float = 0.01,
+              open_area_frac: float = 0.40) -> DeclusterResult:
+    """Find HCB / HCG for the subtree rooted at ``level``.
+
+    ``min_area_frac`` and ``open_area_frac`` are fractions of
+    ``area(level)``: macro-free nodes smaller than the former are glue;
+    macro-free nodes larger than the latter are opened.
+    """
+    result = DeclusterResult()
+    total = max(level.area, 1e-12)
+    min_area = min_area_frac * total
+    open_area = open_area_frac * total
+
+    def open_node(node: HierNode) -> None:
+        """Expose a node's children; its direct cells become level glue,
+        its direct macros become pseudo-blocks."""
+        for cell_index in node.own_cells:
+            cell = flat.cells[cell_index]
+            if cell.is_macro:
+                result.blocks.append(
+                    BlockSeed(name=cell.path, macro_cell=cell_index))
+            else:
+                result.loose_glue_cells.append(cell_index)
+
+    open_node(level)
+    queue = deque(level.children)
+    while queue:
+        node = queue.popleft()
+        if (node.children and node.macro_count == 0
+                and node.area > open_area):
+            open_node(node)
+            queue.extend(node.children)
+        elif node.macro_count > 0 or node.area > min_area:
+            result.blocks.append(BlockSeed(name=node.path, node=node))
+        else:
+            result.glue.append(node)
+    return result
+
+
+def open_single_block(level: HierNode, flat: FlatDesign,
+                      min_area_frac: float,
+                      open_area_frac: float) -> DeclusterResult:
+    """Decluster, descending through degenerate single-block cuts.
+
+    When a level's cut is a single subtree-backed block that owns all
+    the macros, laying it out is a no-op (it would get the whole
+    region); descending into it directly avoids wasting a recursion
+    level.  Glue found along the way is accumulated.
+    """
+    result = decluster(level, flat, min_area_frac, open_area_frac)
+    guard = 0
+    while (len(result.blocks) == 1
+           and not result.blocks[0].is_macro_seed
+           and result.blocks[0].node.children is not None
+           and guard < 64):
+        inner = result.blocks[0].node
+        if inner.macro_count == 0:
+            break
+        deeper = decluster(inner, flat, min_area_frac, open_area_frac)
+        deeper.glue.extend(result.glue)
+        deeper.loose_glue_cells.extend(result.loose_glue_cells)
+        result = deeper
+        guard += 1
+        if len(result.blocks) != 1 or result.blocks[0].is_macro_seed:
+            break
+    return result

@@ -1,0 +1,112 @@
+"""Macro flipping: the orientation post-pass (Algorithm 1, line 6).
+
+Once macro locations are fixed, each macro can still be mirrored inside
+its footprint.  Pin positions move with the orientation, so choosing
+flips well shortens the nets attached to macro pins ("macro side
+dataflow").  The pass greedily sweeps the macros, picking for each the
+footprint-preserving orientation minimizing the HPWL of its incident
+nets, until a sweep changes nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.result import MacroPlacement
+from repro.geometry.orientation import Orientation
+from repro.geometry.rect import Point
+from repro.netlist.flatten import FlatDesign
+
+
+@dataclass
+class _FlipNet:
+    """One flat net touching at least one macro pin."""
+
+    static_points: List[Point] = field(default_factory=list)
+    macro_pins: List[Tuple[int, str, int]] = field(default_factory=list)
+
+    def interesting(self) -> bool:
+        return bool(self.macro_pins) and (
+            len(self.macro_pins) + len(self.static_points) >= 2)
+
+
+def _collect_nets(flat: FlatDesign, placement: MacroPlacement,
+                  port_positions: Dict[str, Point]) -> List[_FlipNet]:
+    nets: List[_FlipNet] = []
+    for net in flat.nets:
+        fn = _FlipNet()
+        for cell_index, pin, bit in net.endpoints:
+            cell = flat.cells[cell_index]
+            if cell.is_macro and cell_index in placement.macros:
+                fn.macro_pins.append((cell_index, pin, bit))
+            else:
+                region = placement.region_of_cell(flat, cell_index)
+                fn.static_points.append(region.center)
+        for port_name, _bit in net.top_ports:
+            pos = port_positions.get(port_name)
+            if pos is not None:
+                fn.static_points.append(pos)
+        if fn.interesting():
+            nets.append(fn)
+    return nets
+
+
+def _net_hpwl(fn: _FlipNet, flat: FlatDesign,
+              placement: MacroPlacement) -> float:
+    xs: List[float] = []
+    ys: List[float] = []
+    for p in fn.static_points:
+        xs.append(p.x)
+        ys.append(p.y)
+    for cell_index, pin, bit in fn.macro_pins:
+        pos = placement.macros[cell_index].pin_position(flat, pin, bit)
+        xs.append(pos.x)
+        ys.append(pos.y)
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def flip_macros(flat: FlatDesign, placement: MacroPlacement,
+                port_positions: Optional[Dict[str, Point]] = None,
+                max_passes: int = 4) -> int:
+    """Greedily flip macros to reduce incident-net HPWL.
+
+    Mutates orientations in ``placement``; returns the number of
+    orientation changes applied.  Footprints never change, so the
+    placement stays geometrically identical apart from pin positions.
+    """
+    port_positions = port_positions or {}
+    nets = _collect_nets(flat, placement, port_positions)
+    nets_of_macro: Dict[int, List[_FlipNet]] = {}
+    for fn in nets:
+        for cell_index, _pin, _bit in fn.macro_pins:
+            nets_of_macro.setdefault(cell_index, []).append(fn)
+
+    total_flips = 0
+    for _sweep in range(max_passes):
+        changed = False
+        for cell_index in sorted(placement.macros):
+            incident = nets_of_macro.get(cell_index)
+            if not incident:
+                continue
+            placed = placement.macros[cell_index]
+            start_orient = placed.orientation
+            best_orient = start_orient
+            best_cost = sum(_net_hpwl(fn, flat, placement)
+                            for fn in incident)
+            for orient in Orientation.flips_of(start_orient):
+                if orient is start_orient:
+                    continue
+                placed.orientation = orient
+                cost = sum(_net_hpwl(fn, flat, placement)
+                           for fn in incident)
+                if cost < best_cost - 1e-9:
+                    best_cost = cost
+                    best_orient = orient
+            placed.orientation = best_orient
+            if best_orient is not start_orient:
+                changed = True
+                total_flips += 1
+        if not changed:
+            break
+    return total_flips

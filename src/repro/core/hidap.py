@@ -1,0 +1,99 @@
+"""The HiDaP top flow (paper Algorithm 1).
+
+``HiDaP.place`` runs the full pipeline: hierarchy tree, shape curves,
+recursive block floorplanning and macro flipping, returning a
+:class:`MacroPlacement`.  Intermediate artifacts (graphs, curves) are
+kept on the instance after a run for inspection, visualization and the
+didactic figure reproductions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Union
+
+from repro.core.config import HiDaPConfig
+from repro.core.flipping import flip_macros
+from repro.core.ports import assign_port_positions
+from repro.core.recursive import RecursiveFloorplanner
+from repro.core.result import MacroPlacement
+from repro.geometry.rect import Point, Rect
+from repro.hiergraph.gnet import build_gnet
+from repro.hiergraph.gseq import build_gseq
+from repro.hiergraph.hierarchy import build_hierarchy
+from repro.netlist.core import Design
+from repro.netlist.flatten import FlatDesign, flatten
+from repro.shapecurve.curve import ShapeCurve
+from repro.shapecurve.generation import generate_shape_curves
+
+
+class HiDaP:
+    """Hierarchical Dataflow Placement.
+
+    Example
+    -------
+    >>> placer = HiDaP(HiDaPConfig(lam=0.5, seed=1))
+    >>> placement = placer.place(design, die_width, die_height)
+    """
+
+    def __init__(self, config: Optional[HiDaPConfig] = None):
+        self.config = config or HiDaPConfig()
+        # Artifacts of the last run (for tools/figures/tests):
+        self.flat: Optional[FlatDesign] = None
+        self.tree = None
+        self.gnet = None
+        self.gseq = None
+        self.curves: Optional[Dict[str, ShapeCurve]] = None
+        self.port_positions: Optional[Dict[str, Point]] = None
+
+    # -- pipeline pieces -----------------------------------------------------
+
+    def _build_graphs(self, flat: FlatDesign) -> None:
+        self.flat = flat
+        self.tree = build_hierarchy(flat)
+        self.gnet = build_gnet(flat)
+        self.gseq = build_gseq(self.gnet, flat,
+                               min_bits=self.config.min_bits)
+
+    def _shape_curves(self) -> Dict[str, ShapeCurve]:
+        """S_Γ: one curve per hierarchy node, bottom-up (Sect. IV-A)."""
+        flat = self.flat
+        shape_config = self.config.shapegen_config()
+
+        def own_macro_curves(node):
+            return [ShapeCurve.for_rect(flat.cells[m].ctype.width,
+                                        flat.cells[m].ctype.height)
+                    for m in node.own_macros]
+
+        by_node = generate_shape_curves(
+            self.tree.root,
+            children_of=lambda n: n.children,
+            own_macro_curves_of=own_macro_curves,
+            config=shape_config)
+        return {node.path: curve for node, curve in by_node.items()}
+
+    # -- public API ------------------------------------------------------------
+
+    def place(self, design: Union[Design, FlatDesign], die_width: float,
+              die_height: float, flow_name: str = "hidap"
+              ) -> MacroPlacement:
+        """Place all macros of ``design`` on a die of the given size."""
+        start = time.perf_counter()
+        flat = design if isinstance(design, FlatDesign) else flatten(design)
+        die = Rect(0.0, 0.0, float(die_width), float(die_height))
+
+        self._build_graphs(flat)
+        self.curves = self._shape_curves()
+        self.port_positions = assign_port_positions(flat.design, die)
+
+        floorplanner = RecursiveFloorplanner(
+            flat=flat, gnet=self.gnet, gseq=self.gseq, tree=self.tree,
+            curves=self.curves, config=self.config,
+            port_positions=self.port_positions)
+        placement = floorplanner.run(die, flow_name=flow_name)
+
+        if self.config.flipping:
+            flip_macros(flat, placement, self.port_positions)
+
+        placement.runtime_seconds = time.perf_counter() - start
+        return placement

@@ -1,0 +1,90 @@
+"""Macro legalization: a greedy nearest-fit overlap resolver.
+
+HiDaP's budgeting keeps block rectangles disjoint, so its macro
+placements are legal by construction; this utility exists as a safety
+net for externally produced or hand-edited placements (e.g. loaded from
+JSON) before they enter the metric referee.
+
+Macros are processed in lower-left order; each keeps its position when
+legal, otherwise it moves to the nearest legal position drawn from the
+candidate grid induced by the die walls and the already-fixed macros
+(the classic Tetris-style legalization scheme).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.result import MacroPlacement
+from repro.geometry.rect import Rect
+
+
+def _clamp_into(rect: Rect, die: Rect) -> Rect:
+    x = min(max(rect.x, die.x), max(die.x, die.x2 - rect.w))
+    y = min(max(rect.y, die.y), max(die.y, die.y2 - rect.h))
+    return Rect(x, y, rect.w, rect.h)
+
+
+def _legal_here(rect: Rect, die: Rect, placed: List[Rect]) -> bool:
+    if not die.contains_rect(rect, tol=1e-9):
+        return False
+    return not any(rect.overlaps(other) for other in placed)
+
+
+def _nearest_legal(rect: Rect, die: Rect,
+                   placed: List[Rect]) -> Optional[Rect]:
+    """Nearest legal position from the candidate coordinate grid."""
+    xs = {die.x, die.x2 - rect.w}
+    ys = {die.y, die.y2 - rect.h}
+    xs.add(rect.x)
+    ys.add(rect.y)
+    for other in placed:
+        xs.update((other.x2, other.x - rect.w))
+        ys.update((other.y2, other.y - rect.h))
+    xs = sorted(x for x in xs if die.x - 1e-9 <= x <= die.x2 - rect.w + 1e-9)
+    ys = sorted(y for y in ys if die.y - 1e-9 <= y <= die.y2 - rect.h + 1e-9)
+
+    best: Optional[Rect] = None
+    best_dist = float("inf")
+    for x in xs:
+        dx = abs(x - rect.x)
+        if dx >= best_dist:
+            continue
+        for y in ys:
+            dist = dx + abs(y - rect.y)
+            if dist >= best_dist:
+                continue
+            candidate = Rect(x, y, rect.w, rect.h)
+            if _legal_here(candidate, die, placed):
+                best = candidate
+                best_dist = dist
+    return best
+
+
+def legalize_macros(placement: MacroPlacement) -> int:
+    """Clamp macros into the die and resolve overlaps, in place.
+
+    Returns the number of macros that moved.  Macros keep their
+    footprints; positions change by the minimum candidate-grid
+    displacement.  If the die is overfull a macro may remain
+    overlapping (best effort) — callers can check
+    ``placement.macro_overlap_area()`` afterwards.
+    """
+    die = placement.die
+    order = sorted(placement.macros,
+                   key=lambda k: (placement.macros[k].rect.y,
+                                  placement.macros[k].rect.x))
+    placed: List[Rect] = []
+    moved = 0
+    for key in order:
+        macro = placement.macros[key]
+        rect = _clamp_into(macro.rect, die)
+        if not _legal_here(rect, die, placed):
+            candidate = _nearest_legal(rect, die, placed)
+            if candidate is not None:
+                rect = candidate
+        if rect != macro.rect:
+            macro.rect = rect
+            moved += 1
+        placed.append(rect)
+    return moved

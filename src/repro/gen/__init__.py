@@ -1,0 +1,28 @@
+"""Synthetic RTL design generation.
+
+The paper's evaluation uses eight proprietary industrial circuits whose
+essential placement-relevant signals are: a deep RTL hierarchy, bus and
+register-array structure, macro-dominated area, and strongly-patterned
+dataflow between subsystems.  This package generates designs carrying
+exactly those signals — pipelines, memory subsystems, crossbars and DSP
+datapaths composed into chips — with the paper's macro counts kept 1:1
+and cell counts scaled to laptop size (see DESIGN.md §5).
+
+Every generated design ships a :class:`GroundTruth` describing the
+intended dataflow order; the handFP "expert" baseline consumes it, just
+as the paper's human experts consumed their knowledge of the design.
+"""
+
+from repro.gen.macros import MacroLibrary, make_macro_library
+from repro.gen.spec import DesignSpec, GroundTruth, SubsystemSpec
+from repro.gen.designs import build_design, suite_specs
+
+__all__ = [
+    "DesignSpec",
+    "GroundTruth",
+    "MacroLibrary",
+    "SubsystemSpec",
+    "build_design",
+    "make_macro_library",
+    "suite_specs",
+]

@@ -1,0 +1,82 @@
+"""Macro cell libraries for generated designs.
+
+Macros model SRAMs/ROMs: a data-in bus on the west side, data-out on the
+east, an address bus on the south.  Dimensions vary per library so
+shape-curve generation has real work to do; the library is deterministic
+in the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.netlist.cells import (
+    CellType,
+    Direction,
+    PinGeometry,
+    PortDef,
+    Side,
+    macro_cell,
+)
+
+
+@dataclass
+class MacroLibrary:
+    """A set of macro cell types plus a sampling helper."""
+
+    cells: Dict[str, CellType]
+    _order: List[str]
+
+    def sample(self, rng: random.Random) -> CellType:
+        return self.cells[self._order[rng.randrange(len(self._order))]]
+
+    def by_name(self, name: str) -> CellType:
+        return self.cells[name]
+
+
+def make_ram(name: str, data_width: int, depth_units: float,
+             aspect: float) -> CellType:
+    """An SRAM-ish macro: area grows with width x depth, shape with aspect.
+
+    ``depth_units`` abstracts the word count; the constant converts
+    bit-area to our site units so macro area dominates cell area as in
+    the paper's circuits.
+    """
+    area = max(16.0, 0.35 * data_width * depth_units)
+    width = (area / aspect) ** 0.5
+    height = area / width
+    ports = [
+        PortDef("din", Direction.IN, data_width),
+        PortDef("addr", Direction.IN, max(2, int(depth_units).bit_length())),
+        PortDef("dout", Direction.OUT, data_width),
+    ]
+    geometry = {
+        "din": PinGeometry(Side.WEST, 0.5),
+        "addr": PinGeometry(Side.SOUTH, 0.5),
+        "dout": PinGeometry(Side.EAST, 0.5),
+    }
+    return macro_cell(name, round(width, 2), round(height, 2),
+                      ports, geometry)
+
+
+def make_macro_library(seed: int, data_width: int,
+                       n_types: int = 4) -> MacroLibrary:
+    """A deterministic library of ``n_types`` RAM variants.
+
+    The seed is baked into the type names: two libraries with different
+    seeds can produce differently-shaped RAMs, and name collisions would
+    corrupt round-trips that resolve leaf cells by name.
+    """
+    rng = random.Random(seed * 2654435761 % (2 ** 31))
+    tag = seed % 9973
+    cells: Dict[str, CellType] = {}
+    order: List[str] = []
+    for i in range(n_types):
+        depth = rng.choice([16.0, 24.0, 32.0, 48.0, 64.0])
+        aspect = rng.choice([0.5, 0.75, 1.0, 1.5, 2.0])
+        name = f"RAM{data_width}X{int(depth)}_L{tag}_{i}"
+        cells[name] = make_ram(name, data_width, depth, aspect)
+        order.append(name)
+    return MacroLibrary(cells=cells, _order=order)

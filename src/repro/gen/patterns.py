@@ -1,0 +1,260 @@
+"""Subsystem construction patterns.
+
+Each builder returns a module with a ``din``/``dout`` bus interface and
+registers the submodules it creates on the design.  The four patterns
+mirror the structures the paper's intro motivates: register pipelines
+threading memories, banked memory subsystems, switch fabrics, and DSP
+datapaths with coefficient ROMs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.gen.macros import MacroLibrary
+from repro.gen.spec import SubsystemSpec
+from repro.netlist.builder import ModuleBuilder
+from repro.netlist.core import Design, Module
+
+
+def _spread(total: int, buckets: int) -> List[int]:
+    """Distribute ``total`` items over ``buckets`` as evenly as possible."""
+    if buckets <= 0:
+        return []
+    base, extra = divmod(total, buckets)
+    return [base + (1 if i < extra else 0) for i in range(buckets)]
+
+
+def _stage_module(design: Design, name: str, width: int, n_macros: int,
+                  filler: int, library: MacroLibrary,
+                  rng: random.Random) -> Module:
+    """One pipeline stage: in_reg -> comb -> macros -> comb -> out_reg."""
+    b = ModuleBuilder(name)
+    b.input("din", width)
+    b.output("dout", width)
+    b.wire("pre", width)
+    b.register_array("in_reg", width, d="din", q="pre")
+
+    current = "pre"
+    for m in range(n_macros):
+        macro_type = library.sample(rng)
+        mw = macro_type.port("din").width
+        inst = b.instance(macro_type, f"mem{m}")
+        feed = f"feed{m}"
+        back = f"back{m}"
+        b.wire(feed, mw)
+        b.wire(back, mw)
+        b.comb_cloud(f"mix{m}", [current], feed)
+        b.connect_bus(feed, inst, "din")
+        # Address pins hang off the stage input (control-ish fan-in).
+        addr_w = macro_type.port("addr").width
+        b.connect(current, inst, "addr",
+                  width=min(addr_w, width), net_lsb=0, pin_lsb=0)
+        b.connect_bus(back, inst, "dout")
+        current = back
+
+    b.wire("post", width)
+    b.comb_cloud("collect", [current], "post",
+                 n_cells=width + max(0, filler))
+    b.register_array("out_reg", width, d="post", q="dout")
+    module = b.build()
+    design.add_module(module)
+    return module
+
+
+def build_pipeline(design: Design, spec: SubsystemSpec,
+                   library: MacroLibrary, rng: random.Random) -> Module:
+    """A pipeline of stages, each threading its macro share."""
+    stages = max(1, spec.stages)
+    macro_split = _spread(spec.macros, stages)
+    filler_split = _spread(spec.filler_cells, stages)
+    b = ModuleBuilder(spec.name)
+    b.input("din", spec.width)
+    b.output("dout", spec.width)
+    current = "din"
+    for s in range(stages):
+        stage = _stage_module(design, f"{spec.name}_stage{s}", spec.width,
+                              macro_split[s], filler_split[s], library, rng)
+        inst = b.instance(stage, f"st{s}")
+        nxt = f"l{s}" if s < stages - 1 else "dout"
+        if nxt != "dout":
+            b.wire(nxt, spec.width)
+        b.connect_bus(current, inst, "din")
+        b.connect_bus(nxt, inst, "dout")
+        current = nxt
+    module = b.build()
+    design.add_module(module)
+    return module
+
+
+def _bank_module(design: Design, name: str, width: int, n_macros: int,
+                 filler: int, library: MacroLibrary,
+                 rng: random.Random) -> Module:
+    """A memory bank: small periphery logic plus its macros in parallel."""
+    b = ModuleBuilder(name)
+    b.input("din", width)
+    b.output("dout", width)
+    b.wire("wdata", width)
+    b.register_array("wr_reg", width, d="din", q="wdata")
+    outs = []
+    for m in range(max(1, n_macros)):
+        if m < n_macros:
+            macro_type = library.sample(rng)
+            inst = b.instance(macro_type, f"ram{m}")
+            mw = macro_type.port("din").width
+            feed, back = f"feed{m}", f"back{m}"
+            b.wire(feed, mw)
+            b.wire(back, mw)
+            b.comb_cloud(f"wmux{m}", ["wdata"], feed)
+            b.connect_bus(feed, inst, "din")
+            addr_w = macro_type.port("addr").width
+            b.connect("wdata", inst, "addr", width=min(addr_w, width))
+            b.connect_bus(back, inst, "dout")
+            outs.append(back)
+    b.wire("rdata", width)
+    b.comb_cloud("rmux", outs or ["wdata"], "rdata",
+                 n_cells=width + max(0, filler))
+    b.register_array("rd_reg", width, d="rdata", q="dout")
+    module = b.build()
+    design.add_module(module)
+    return module
+
+
+def build_memsys(design: Design, spec: SubsystemSpec,
+                 library: MacroLibrary, rng: random.Random) -> Module:
+    """A banked memory subsystem: decode -> banks (parallel) -> merge."""
+    banks = max(1, spec.stages)
+    macro_split = _spread(spec.macros, banks)
+    filler_split = _spread(spec.filler_cells, banks + 1)
+    b = ModuleBuilder(spec.name)
+    b.input("din", spec.width)
+    b.output("dout", spec.width)
+    b.wire("decoded", spec.width)
+    b.comb_cloud("decode", ["din"], "decoded",
+                 n_cells=spec.width + filler_split[-1])
+    bank_outs = []
+    for k in range(banks):
+        bank = _bank_module(design, f"{spec.name}_bank{k}", spec.width,
+                            macro_split[k], filler_split[k], library, rng)
+        inst = b.instance(bank, f"bank{k}")
+        out = f"bout{k}"
+        b.wire(out, spec.width)
+        b.connect_bus("decoded", inst, "din")
+        b.connect_bus(out, inst, "dout")
+        bank_outs.append(out)
+    b.wire("merged", spec.width)
+    b.comb_cloud("merge", bank_outs, "merged")
+    b.register_array("out_reg", spec.width, d="merged", q="dout")
+    module = b.build()
+    design.add_module(module)
+    return module
+
+
+def _lane_module(design: Design, name: str, full_width: int, lane_w: int,
+                 n_macros: int, filler: int, library: MacroLibrary,
+                 rng: random.Random) -> Module:
+    """One crossbar lane: switch cloud, lane register, buffer macros."""
+    b = ModuleBuilder(name)
+    b.input("din", full_width)
+    b.output("dout", lane_w)
+    b.wire("picked", lane_w)
+    b.wire("held", lane_w)
+    b.comb_cloud("sw", ["din"], "picked", n_cells=lane_w + max(0, filler))
+    b.register_array("lane_reg", lane_w, d="picked", q="held")
+    current = "held"
+    for m in range(n_macros):
+        macro_type = library.sample(rng)
+        inst = b.instance(macro_type, f"buf{m}")
+        mw = macro_type.port("din").width
+        feed, back, mixed = f"bf{m}", f"bb{m}", f"bm{m}"
+        b.wire(feed, mw)
+        b.wire(back, mw)
+        b.wire(mixed, lane_w)
+        b.comb_cloud(f"bfm{m}", [current], feed)
+        b.connect_bus(feed, inst, "din")
+        b.connect(current, inst, "addr",
+                  width=min(macro_type.port("addr").width, lane_w))
+        b.connect_bus(back, inst, "dout")
+        b.comb_cloud(f"bmx{m}", [back], mixed)
+        current = mixed
+    b.wire("out_pre", lane_w)
+    b.comb_cloud("out_mix", [current], "out_pre")
+    b.register_array("out_reg", lane_w, d="out_pre", q="dout")
+    module = b.build()
+    design.add_module(module)
+    return module
+
+
+def build_xbar(design: Design, spec: SubsystemSpec,
+               library: MacroLibrary, rng: random.Random) -> Module:
+    """A registered switch fabric; optional buffer macros per lane."""
+    lanes = max(2, spec.stages)
+    lane_w = max(4, spec.width // lanes)
+    macro_split = _spread(spec.macros, lanes)
+    filler_split = _spread(spec.filler_cells, lanes)
+    b = ModuleBuilder(spec.name)
+    b.input("din", spec.width)
+    b.output("dout", spec.width)
+    for l in range(lanes):
+        lane = _lane_module(design, f"{spec.name}_lane{l}", spec.width,
+                            lane_w, macro_split[l], filler_split[l],
+                            library, rng)
+        inst = b.instance(lane, f"lane{l}")
+        out = f"lo{l}"
+        b.wire(out, lane_w)
+        b.connect_bus("din", inst, "din")
+        b.connect_bus(out, inst, "dout")
+        base = l * lane_w
+        take = min(lane_w, spec.width - base)
+        if take > 0:
+            b.comb_slice(f"gather{l}", out, "dout", base, take)
+    module = b.build()
+    design.add_module(module)
+    return module
+
+
+def build_dsp(design: Design, spec: SubsystemSpec,
+              library: MacroLibrary, rng: random.Random) -> Module:
+    """A DSP datapath: MAC-ish comb stages with coefficient ROMs."""
+    taps = max(1, spec.stages)
+    macro_split = _spread(spec.macros, taps)
+    filler_split = _spread(spec.filler_cells, taps)
+    b = ModuleBuilder(spec.name)
+    b.input("din", spec.width)
+    b.output("dout", spec.width)
+    current = "din"
+    for t in range(taps):
+        acc = f"acc{t}"
+        b.wire(acc, spec.width)
+        sources = [current]
+        for m in range(macro_split[t]):
+            macro_type = library.sample(rng)
+            inst = b.instance(macro_type, f"rom{t}_{m}")
+            mw = macro_type.port("din").width
+            coeff = f"coef{t}_{m}"
+            b.wire(coeff, mw)
+            b.connect(current, inst, "din",
+                      width=min(mw, spec.width))
+            b.connect(current, inst, "addr",
+                      width=min(macro_type.port("addr").width, spec.width))
+            b.connect_bus(coeff, inst, "dout")
+            sources.append(coeff)
+        b.comb_cloud(f"mac{t}", sources, acc,
+                     n_cells=spec.width + filler_split[t])
+        reg_out = f"r{t}" if t < taps - 1 else "dout"
+        if reg_out != "dout":
+            b.wire(reg_out, spec.width)
+        b.register_array(f"tap_reg{t}", spec.width, d=acc, q=reg_out)
+        current = reg_out
+    module = b.build()
+    design.add_module(module)
+    return module
+
+
+BUILDERS = {
+    "pipeline": build_pipeline,
+    "memsys": build_memsys,
+    "xbar": build_xbar,
+    "dsp": build_dsp,
+}

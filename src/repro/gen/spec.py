@@ -1,0 +1,57 @@
+"""Specifications for generated designs and their ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SubsystemSpec:
+    """One top-level subsystem of a generated chip."""
+
+    kind: str                 # "pipeline" | "memsys" | "xbar" | "dsp"
+    name: str
+    macros: int               # macro budget of this subsystem
+    width: int                # data bus width
+    stages: int = 4           # pipeline/dsp depth, memsys banks, xbar size
+    filler_cells: int = 0     # extra glue cells for area realism
+
+
+@dataclass
+class DesignSpec:
+    """A whole generated chip."""
+
+    name: str
+    seed: int
+    subsystems: List[SubsystemSpec]
+    utilization: float = 0.55
+    aspect: float = 1.0
+    #: Extra top-level cross links (from, to) subsystem indices beside
+    #: the main chain; they add the secondary dataflow the paper's
+    #: industrial designs exhibit.
+    cross_links: List = field(default_factory=list)
+    #: What the paper reported for the analogous circuit, recorded so
+    #: EXPERIMENTS.md can show the scale substitution explicitly.
+    paper_cells: Optional[str] = None
+    paper_macros: Optional[int] = None
+
+    @property
+    def total_macros(self) -> int:
+        return sum(s.macros for s in self.subsystems)
+
+
+@dataclass
+class GroundTruth:
+    """Designer knowledge about a generated chip.
+
+    ``order`` is the intended 1-D dataflow order of the top-level
+    subsystem instances; ``subsystem_macros`` maps each instance name to
+    the hierarchical paths of its macros.  The handFP oracle uses this
+    the way the paper's back-end experts used their understanding of
+    the design.
+    """
+
+    order: List[str]
+    subsystem_macros: Dict[str, List[str]]
+    widths: Dict[str, int] = field(default_factory=dict)

@@ -1,0 +1,10 @@
+"""Planar geometry primitives shared by every placement component.
+
+The package deliberately stays tiny: axis-aligned rectangles, points and
+the eight macro orientations are all the geometry the floorplanner needs.
+"""
+
+from repro.geometry.orientation import Orientation
+from repro.geometry.rect import Point, Rect
+
+__all__ = ["Point", "Rect", "Orientation"]

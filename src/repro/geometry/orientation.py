@@ -1,0 +1,97 @@
+"""Macro orientations.
+
+A macro has eight legal orientations (the dihedral group of the
+rectangle).  Following common EDA naming (DEF):
+
+======  =======================  =============
+name    meaning                  footprint
+======  =======================  =============
+N       as drawn                 (w, h)
+FN      mirrored about Y         (w, h)
+S       rotated 180 degrees      (w, h)
+FS      mirrored about X         (w, h)
+E       rotated 90 cw            (h, w)
+FE      mirrored + rotated       (h, w)
+W       rotated 90 ccw           (h, w)
+FW      mirrored + rotated       (h, w)
+======  =======================  =============
+
+The placer only needs two things from an orientation: the transformed
+footprint and the transformed offset of a pin given in "as drawn"
+coordinates relative to the macro's lower-left corner.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+
+class Orientation(Enum):
+    """One of the eight rectangle symmetries."""
+
+    N = "N"
+    FN = "FN"
+    S = "S"
+    FS = "FS"
+    E = "E"
+    FE = "FE"
+    W = "W"
+    FW = "FW"
+
+    @property
+    def swaps_sides(self) -> bool:
+        """Whether the footprint becomes (h, w) instead of (w, h)."""
+        return self in (Orientation.E, Orientation.FE,
+                        Orientation.W, Orientation.FW)
+
+    def footprint(self, w: float, h: float) -> Tuple[float, float]:
+        """Footprint (width, height) of a w-by-h macro in this orientation."""
+        if self.swaps_sides:
+            return (h, w)
+        return (w, h)
+
+    def pin_offset(self, px: float, py: float,
+                   w: float, h: float) -> Tuple[float, float]:
+        """Transform a pin offset from "as drawn" (orientation N) coordinates.
+
+        ``(px, py)`` is the pin offset from the macro's lower-left corner
+        when drawn in orientation N; the result is the offset from the
+        lower-left corner of the *oriented* footprint.
+        """
+        if self is Orientation.N:
+            return (px, py)
+        if self is Orientation.FN:
+            return (w - px, py)
+        if self is Orientation.S:
+            return (w - px, h - py)
+        if self is Orientation.FS:
+            return (px, h - py)
+        if self is Orientation.E:     # rotate 90 clockwise
+            return (py, w - px)
+        if self is Orientation.FE:    # FN then rotate 90 clockwise
+            return (py, px)
+        if self is Orientation.W:     # rotate 90 counter-clockwise
+            return (h - py, px)
+        if self is Orientation.FW:    # FN then rotate 90 counter-clockwise
+            return (h - py, w - px)
+        raise AssertionError(f"unhandled orientation {self}")
+
+    @staticmethod
+    def flips_of(orient: "Orientation"):
+        """The orientations reachable from ``orient`` by mirroring only.
+
+        Mirroring preserves the footprint, so a placed macro may freely
+        move inside this group during the flipping post-pass.
+        """
+        if orient.swaps_sides:
+            return (Orientation.E, Orientation.FE,
+                    Orientation.W, Orientation.FW)
+        return (Orientation.N, Orientation.FN,
+                Orientation.S, Orientation.FS)
+
+
+FOOTPRINT_PRESERVING = (Orientation.N, Orientation.FN,
+                        Orientation.S, Orientation.FS)
+SIDE_SWAPPING = (Orientation.E, Orientation.FE,
+                 Orientation.W, Orientation.FW)

@@ -1,0 +1,150 @@
+"""Axis-aligned rectangles and points.
+
+All floorplan geometry uses a lower-left origin: a :class:`Rect` is the
+half-open region ``[x, x + w) x [y, y + h)``.  Coordinates are floats in
+abstract "site" units; the evaluation layer decides the physical scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the plane."""
+
+    x: float
+    y: float
+
+    def manhattan(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean(self, other: "Point") -> float:
+        """Euclidean (L2) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle anchored at its lower-left corner."""
+
+    x: float
+    y: float
+    w: float
+    h: float
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.h < 0:
+            raise ValueError(f"rectangle sides must be non-negative: {self}")
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def x2(self) -> float:
+        """Right edge coordinate."""
+        return self.x + self.w
+
+    @property
+    def y2(self) -> float:
+        """Top edge coordinate."""
+        return self.y + self.h
+
+    @property
+    def area(self) -> float:
+        return self.w * self.h
+
+    @property
+    def center(self) -> Point:
+        return Point(self.x + self.w / 2.0, self.y + self.h / 2.0)
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Height over width; ``inf`` for zero-width rectangles."""
+        if self.w == 0:
+            return math.inf
+        return self.h / self.w
+
+    def contains_point(self, p: Point, tol: float = 0.0) -> bool:
+        """Whether ``p`` lies inside (or within ``tol`` of) the rectangle."""
+        return (self.x - tol <= p.x <= self.x2 + tol
+                and self.y - tol <= p.y <= self.y2 + tol)
+
+    def contains_rect(self, other: "Rect", tol: float = 1e-9) -> bool:
+        """Whether ``other`` lies fully inside this rectangle."""
+        return (other.x >= self.x - tol and other.y >= self.y - tol
+                and other.x2 <= self.x2 + tol and other.y2 <= self.y2 + tol)
+
+    def overlaps(self, other: "Rect", tol: float = 1e-9) -> bool:
+        """Whether the open interiors of the two rectangles intersect.
+
+        Degenerate (zero-area) rectangles have empty interiors and never
+        overlap anything.
+        """
+        if min(self.w, self.h, other.w, other.h) <= tol:
+            return False
+        return (self.x < other.x2 - tol and other.x < self.x2 - tol
+                and self.y < other.y2 - tol and other.y < self.y2 - tol)
+
+    def intersection(self, other: "Rect") -> "Rect":
+        """The overlap region (possibly empty, reported as a 0-area rect)."""
+        x = max(self.x, other.x)
+        y = max(self.y, other.y)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        return Rect(x, y, max(0.0, x2 - x), max(0.0, y2 - y))
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both rectangles."""
+        x = min(self.x, other.x)
+        y = min(self.y, other.y)
+        x2 = max(self.x2, other.x2)
+        y2 = max(self.y2, other.y2)
+        return Rect(x, y, x2 - x, y2 - y)
+
+    # -- transforms -------------------------------------------------------
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x + dx, self.y + dy, self.w, self.h)
+
+    def inset(self, margin: float) -> "Rect":
+        """Shrink by ``margin`` on every side (clamped at zero size)."""
+        w = max(0.0, self.w - 2 * margin)
+        h = max(0.0, self.h - 2 * margin)
+        return Rect(self.x + margin, self.y + margin, w, h)
+
+    def corners(self) -> tuple:
+        """The four corner points (ll, lr, ur, ul)."""
+        return (Point(self.x, self.y), Point(self.x2, self.y),
+                Point(self.x2, self.y2), Point(self.x, self.y2))
+
+
+def bounding_box(rects) -> Rect:
+    """Smallest rectangle covering every rectangle in ``rects``.
+
+    Raises ``ValueError`` on an empty sequence.
+    """
+    rects = list(rects)
+    if not rects:
+        raise ValueError("bounding_box of an empty collection")
+    box = rects[0]
+    for r in rects[1:]:
+        box = box.union_bbox(r)
+    return box
+
+
+def total_overlap_area(rects) -> float:
+    """Sum of pairwise overlap areas; zero for a legal placement."""
+    rects = list(rects)
+    total = 0.0
+    for i, a in enumerate(rects):
+        for b in rects[i + 1:]:
+            if a.overlaps(b):
+                total += a.intersection(b).area
+    return total

@@ -1,0 +1,251 @@
+"""Bookshelf format interchange (.nodes / .nets / .pl).
+
+The paper contrasts its industrial inputs with the academic ICCAD'12
+contest benchmarks [1], which ship in the Bookshelf format.  This
+module lets a flattened design round-trip to that ecosystem: export a
+design (and optionally a macro placement) for academic placers, or
+import a Bookshelf triple as a flat single-module design.
+
+Hierarchy and array information do not survive the trip — that is
+precisely the paper's point about such benchmarks — so imported designs
+suit the flat baseline flows, not HiDaP itself.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.core.result import MacroPlacement
+from repro.netlist.builder import ModuleBuilder
+from repro.netlist.cells import (
+    CellKind,
+    CellType,
+    Direction,
+    PortDef,
+    macro_cell,
+)
+from repro.netlist.core import Design
+from repro.netlist.flatten import FlatDesign
+
+#: Bookshelf identifiers cannot contain whitespace; hierarchical paths
+#: are encoded by replacing '/' with this separator.
+_PATH_ESCAPE = "__"
+
+
+def _node_name(path: str) -> str:
+    return path.replace("/", _PATH_ESCAPE)
+
+
+# ---------------------------------------------------------------------------
+# Export
+# ---------------------------------------------------------------------------
+
+
+def _port_node_name(port: str, bit: int) -> str:
+    return f"PORT{_PATH_ESCAPE}{port}{_PATH_ESCAPE}{bit}"
+
+
+def _port_bits(flat: FlatDesign) -> List[Tuple[str, int]]:
+    """Port bits that appear on at least one kept flat net."""
+    seen = []
+    seen_set = set()
+    for net in flat.nets:
+        for port, bit in net.top_ports:
+            if (port, bit) not in seen_set:
+                seen_set.add((port, bit))
+                seen.append((port, bit))
+    return seen
+
+
+def write_nodes(flat: FlatDesign, handle: TextIO) -> None:
+    """Emit the .nodes file: every cell with its dimensions.
+
+    Standard cells are emitted as 1x`area` sites; macros keep their
+    physical dimensions and are marked ``terminal`` (fixed-size
+    obstacles, the usual convention for macro blocks).  Chip port bits
+    become zero-ish-size terminal nodes, as in the contest benchmarks.
+    """
+    cells = flat.cells
+    ports = _port_bits(flat)
+    n_terminals = sum(1 for c in cells if c.is_macro) + len(ports)
+    handle.write("UCLA nodes 1.0\n\n")
+    handle.write(f"NumNodes : {len(cells) + len(ports)}\n")
+    handle.write(f"NumTerminals : {n_terminals}\n")
+    for cell in cells:
+        name = _node_name(cell.path)
+        if cell.is_macro:
+            handle.write(f"  {name} {cell.ctype.width:g} "
+                         f"{cell.ctype.height:g} terminal\n")
+        else:
+            handle.write(f"  {name} {cell.ctype.area:g} 1\n")
+    for port, bit in ports:
+        handle.write(f"  {_port_node_name(port, bit)} 0.01 0.01 "
+                     f"terminal\n")
+
+
+def write_nets(flat: FlatDesign, handle: TextIO) -> None:
+    """Emit the .nets file: one entry per flat bit net.
+
+    Chip port bits participate as pins of their terminal nodes; an
+    input port drives inward, so it is an ``O`` pin.
+    """
+    top_ports = flat.design.top.ports
+    total_pins = sum(len(n.endpoints) + len(n.top_ports)
+                     for n in flat.nets)
+    handle.write("UCLA nets 1.0\n\n")
+    handle.write(f"NumNets : {len(flat.nets)}\n")
+    handle.write(f"NumPins : {total_pins}\n")
+    for i, net in enumerate(flat.nets):
+        degree = len(net.endpoints) + len(net.top_ports)
+        handle.write(f"NetDegree : {degree} n{i}\n")
+        for cell_index, pin, _bit in net.endpoints:
+            cell = flat.cells[cell_index]
+            direction = cell.ctype.port(pin).direction
+            io = "O" if direction is Direction.OUT else "I"
+            handle.write(f"  {_node_name(cell.path)} {io}\n")
+        for port, bit in net.top_ports:
+            io = "O" if top_ports[port].direction is Direction.IN \
+                else "I"
+            handle.write(f"  {_port_node_name(port, bit)} {io}\n")
+
+
+def write_pl(flat: FlatDesign, placement: Optional[MacroPlacement],
+             handle: TextIO) -> None:
+    """Emit the .pl file; macros take their placed locations."""
+    handle.write("UCLA pl 1.0\n\n")
+    for cell in flat.cells:
+        x = y = 0.0
+        fixed = ""
+        if cell.is_macro and placement is not None:
+            placed = placement.macros.get(cell.index)
+            if placed is not None:
+                x, y = placed.rect.x, placed.rect.y
+                fixed = " /FIXED"
+        handle.write(f"{_node_name(cell.path)} {x:g} {y:g} : N{fixed}\n")
+
+
+def export_bookshelf(flat: FlatDesign, prefix: str,
+                     placement: Optional[MacroPlacement] = None) -> None:
+    """Write ``prefix``.nodes / .nets / .pl for a flattened design."""
+    with open(prefix + ".nodes", "w") as handle:
+        write_nodes(flat, handle)
+    with open(prefix + ".nets", "w") as handle:
+        write_nets(flat, handle)
+    with open(prefix + ".pl", "w") as handle:
+        write_pl(flat, placement, handle)
+
+
+# ---------------------------------------------------------------------------
+# Import
+# ---------------------------------------------------------------------------
+
+_NODE_RE = re.compile(
+    r"^\s*(?P<name>\S+)\s+(?P<w>[\d.eE+-]+)\s+(?P<h>[\d.eE+-]+)"
+    r"\s*(?P<terminal>terminal\w*)?\s*$")
+
+
+class BookshelfError(ValueError):
+    """Raised on malformed Bookshelf input."""
+
+
+def _iter_payload(text: str):
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#") or line.startswith("UCLA"):
+            continue
+        yield line
+
+
+def parse_nodes(text: str) -> List[Tuple[str, float, float, bool]]:
+    """Parse .nodes content into (name, w, h, is_terminal) tuples."""
+    nodes = []
+    for line in _iter_payload(text):
+        if line.startswith(("NumNodes", "NumTerminals")):
+            continue
+        match = _NODE_RE.match(line)
+        if match is None:
+            raise BookshelfError(f"bad .nodes line: {line!r}")
+        nodes.append((match.group("name"), float(match.group("w")),
+                      float(match.group("h")),
+                      match.group("terminal") is not None))
+    return nodes
+
+
+def parse_nets(text: str) -> List[List[Tuple[str, str]]]:
+    """Parse .nets content into nets of (node name, 'I'|'O') pins."""
+    nets: List[List[Tuple[str, str]]] = []
+    current: Optional[List[Tuple[str, str]]] = None
+    for line in _iter_payload(text):
+        if line.startswith(("NumNets", "NumPins")):
+            continue
+        if line.startswith("NetDegree"):
+            current = []
+            nets.append(current)
+            continue
+        if current is None:
+            raise BookshelfError(f"pin before NetDegree: {line!r}")
+        parts = line.split()
+        if len(parts) < 2 or parts[1] not in ("I", "O", "B"):
+            raise BookshelfError(f"bad .nets pin line: {line!r}")
+        current.append((parts[0], parts[1]))
+    return nets
+
+
+def import_bookshelf(nodes_text: str, nets_text: str,
+                     design_name: str = "bookshelf") -> Design:
+    """Build a flat single-module design from Bookshelf text.
+
+    Terminal nodes become macros; movable nodes become generic
+    combinational cells of the given area.  Each net becomes a 1-bit
+    net; a net's first ``O`` pin drives it (Bookshelf nets are
+    direction-annotated but unordered).
+    """
+    nodes = parse_nodes(nodes_text)
+    nets = parse_nets(nets_text)
+
+    builder = ModuleBuilder(design_name + "_top")
+    # Pin-count bookkeeping so each instance gets enough pins.
+    in_pins: Dict[str, int] = {}
+    out_pins: Dict[str, int] = {}
+    for net in nets:
+        for name, io in net:
+            if io == "O":
+                out_pins[name] = out_pins.get(name, 0) + 1
+            else:
+                in_pins[name] = in_pins.get(name, 0) + 1
+
+    for name, w, h, terminal in nodes:
+        n_in = max(1, in_pins.get(name, 0))
+        n_out = max(1, out_pins.get(name, 0))
+        ports = [PortDef(f"i{k}", Direction.IN) for k in range(n_in)]
+        ports += [PortDef(f"o{k}", Direction.OUT) for k in range(n_out)]
+        if terminal:
+            ctype = macro_cell(f"BS_MACRO_{name}", max(w, 1e-3),
+                               max(h, 1e-3), ports)
+        else:
+            ctype = CellType(name=f"BS_CELL_{name}", kind=CellKind.COMB,
+                             area=max(w * h, 1e-6), ports=tuple(ports))
+        builder.instance(ctype, name)
+
+    in_cursor: Dict[str, int] = {}
+    out_cursor: Dict[str, int] = {}
+    for i, net in enumerate(nets):
+        if len(net) < 2:
+            continue
+        wire = builder.wire(f"n{i}", 1)
+        del wire
+        for name, io in net:
+            if io == "O":
+                k = out_cursor.get(name, 0)
+                out_cursor[name] = k + 1
+                builder.connect(f"n{i}", name, f"o{k}")
+            else:
+                k = in_cursor.get(name, 0)
+                in_cursor[name] = k + 1
+                builder.connect(f"n{i}", name, f"i{k}")
+
+    design = Design(design_name)
+    design.add_module(builder.build())
+    design.set_top(design_name + "_top")
+    return design

@@ -1,0 +1,101 @@
+"""Design statistics: the per-circuit numbers reported in Table III.
+
+``design_stats`` walks the hierarchy once, computing cell/macro counts
+and areas both globally and per hierarchy subtree; the latter is the
+``area(n)`` / ``macro_count(n)`` oracle that hierarchical declustering
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.netlist.core import Design, Module
+
+
+@dataclass
+class ModuleStats:
+    """Aggregates for one module definition (whole subtree, per instance)."""
+
+    cells: int = 0
+    macros: int = 0
+    flops: int = 0
+    comb: int = 0
+    cell_area: float = 0.0
+    macro_area: float = 0.0
+
+    @property
+    def total_area(self) -> float:
+        return self.cell_area + self.macro_area
+
+
+@dataclass
+class DesignStats:
+    """Whole-design statistics plus per-module-definition aggregates."""
+
+    name: str
+    cells: int
+    macros: int
+    flops: int
+    comb: int
+    stdcell_area: float
+    macro_area: float
+    per_module: Dict[str, ModuleStats] = field(default_factory=dict)
+
+    @property
+    def total_area(self) -> float:
+        return self.stdcell_area + self.macro_area
+
+    def summary(self) -> str:
+        return (f"{self.name}: {self.cells} cells "
+                f"({self.flops} flops, {self.comb} comb), "
+                f"{self.macros} macros, "
+                f"area std={self.stdcell_area:.0f} "
+                f"macro={self.macro_area:.0f}")
+
+
+def _module_stats(module: Module, cache: Dict[str, ModuleStats]
+                  ) -> ModuleStats:
+    if module.name in cache:
+        return cache[module.name]
+    stats = ModuleStats()
+    for inst in module.instances.values():
+        if inst.is_leaf:
+            cell = inst.ref
+            stats.cells += 1
+            if cell.is_macro:
+                stats.macros += 1
+                stats.macro_area += cell.area
+            else:
+                if cell.is_sequential:
+                    stats.flops += 1
+                else:
+                    stats.comb += 1
+                stats.cell_area += cell.area
+        else:
+            child = _module_stats(inst.ref, cache)
+            stats.cells += child.cells
+            stats.macros += child.macros
+            stats.flops += child.flops
+            stats.comb += child.comb
+            stats.cell_area += child.cell_area
+            stats.macro_area += child.macro_area
+    cache[module.name] = stats
+    return stats
+
+
+def design_stats(design: Design) -> DesignStats:
+    """Compute statistics for a design in one hierarchy walk."""
+    cache: Dict[str, ModuleStats] = {}
+    top = _module_stats(design.top, cache)
+    return DesignStats(
+        name=design.name,
+        cells=top.cells,
+        macros=top.macros,
+        flops=top.flops,
+        comb=top.comb,
+        stdcell_area=top.cell_area,
+        macro_area=top.macro_area,
+        per_module=cache,
+    )

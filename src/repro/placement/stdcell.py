@@ -1,0 +1,212 @@
+"""Quadratic global placement with grid-diffusion spreading.
+
+The placer minimizes squared wirelength with fixed anchors (macro pins
+and chip ports), the classic analytical formulation: one sparse SPD
+system per axis, solved with conjugate gradients.  Net connectivity uses
+the bounded-clique model.  The raw quadratic solution collapses into
+dense clumps, so a diffusion pass then iteratively pushes area out of
+overfull bins — macro bins have zero capacity, which is how a macro
+placement's quality propagates into the cell placement and the
+wirelength / congestion / timing metrics measured on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.linalg import cg
+
+from repro.core.result import MacroPlacement
+from repro.geometry.rect import Point, Rect
+from repro.netlist.flatten import FlatDesign
+from repro.placement.cluster import ClusteredNetlist, cluster_cells
+
+#: Nets wider than this endpoint count get a weakened clique weight.
+_CLIQUE_CAP = 12
+
+
+@dataclass
+class PlacerConfig:
+    """Knobs for the quadratic + diffusion placer."""
+
+    bins: int = 24
+    diffusion_iters: int = 48
+    target_density: float = 0.82
+    cg_tol: float = 1e-6
+    cg_maxiter: int = 400
+    #: Weight pulling clusters toward their hierarchy block rectangle
+    #: center (a mild region constraint reflecting the floorplan).
+    region_pull: float = 0.04
+
+
+@dataclass
+class CellPlacement:
+    """Placed cluster positions plus lookups used by the metric layers."""
+
+    clustered: ClusteredNetlist
+    x: np.ndarray
+    y: np.ndarray
+    die: Rect
+
+    def cluster_pos(self, cluster_index: int) -> Point:
+        return Point(float(self.x[cluster_index]),
+                     float(self.y[cluster_index]))
+
+    def cell_pos(self, cell_index: int) -> Optional[Point]:
+        cluster = self.clustered.cluster_of_cell.get(cell_index)
+        if cluster is None:
+            return None
+        return self.cluster_pos(cluster)
+
+
+def _anchor_positions(flat: FlatDesign, placement: MacroPlacement,
+                      port_positions: Dict[str, Point]):
+    """Fixed positions: macro centers and chip ports."""
+    macro_pos: Dict[int, Point] = {
+        index: placed.rect.center
+        for index, placed in placement.macros.items()}
+    return macro_pos, port_positions
+
+
+def _build_system(clustered: ClusteredNetlist, flat: FlatDesign,
+                  placement: MacroPlacement,
+                  port_positions: Dict[str, Point],
+                  config: PlacerConfig):
+    """Assemble the Laplacian and fixed-anchor right-hand sides."""
+    n = clustered.n_clusters
+    macro_pos, port_pos = _anchor_positions(flat, placement, port_positions)
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    diag = np.zeros(n)
+    bx = np.zeros(n)
+    by = np.zeros(n)
+
+    def add_pair(i: int, j: int, w: float) -> None:
+        rows.append(i)
+        cols.append(j)
+        vals.append(-w)
+        rows.append(j)
+        cols.append(i)
+        vals.append(-w)
+        diag[i] += w
+        diag[j] += w
+
+    def add_fixed(i: int, p: Point, w: float) -> None:
+        diag[i] += w
+        bx[i] += w * p.x
+        by[i] += w * p.y
+
+    for cluster_eps, macro_eps, port_eps, weight in clustered.nets:
+        fixed_pts = [macro_pos[m] for m in macro_eps if m in macro_pos]
+        fixed_pts += [port_pos[p] for p in port_eps if p in port_pos]
+        k = len(cluster_eps) + len(fixed_pts)
+        if k < 2:
+            continue
+        w = weight / max(1, min(k, _CLIQUE_CAP) - 1)
+        eps = list(cluster_eps)
+        for a in range(len(eps)):
+            for b in range(a + 1, len(eps)):
+                add_pair(eps[a], eps[b], w)
+            for p in fixed_pts:
+                add_fixed(eps[a], p, w)
+
+    # Mild pull toward each cluster's hierarchy block center.
+    for cluster in clustered.clusters:
+        if not cluster.cells:
+            continue
+        region = placement.region_of_cell(flat, cluster.cells[0])
+        add_fixed(cluster.index, region.center,
+                  config.region_pull * max(1.0, cluster.area) ** 0.5)
+
+    # Guarantee non-singularity for isolated clusters.
+    die_center = placement.die.center
+    for i in range(n):
+        if diag[i] <= 0:
+            add_fixed(i, die_center, 1e-3)
+
+    laplacian = coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    laplacian.setdiag(diag)
+    return laplacian, bx, by
+
+
+def _diffuse(clustered: ClusteredNetlist, x: np.ndarray, y: np.ndarray,
+             die: Rect, macro_rects: List[Rect],
+             config: PlacerConfig) -> None:
+    """Push cluster area out of overfull / blocked bins, in place."""
+    bins = config.bins
+    bw = die.w / bins
+    bh = die.h / bins
+
+    capacity = np.full((bins, bins), bw * bh * config.target_density)
+    for rect in macro_rects:
+        i0 = max(0, int((rect.x - die.x) / bw))
+        i1 = min(bins - 1, int((rect.x2 - die.x - 1e-9) / bw))
+        j0 = max(0, int((rect.y - die.y) / bh))
+        j1 = min(bins - 1, int((rect.y2 - die.y - 1e-9) / bh))
+        for i in range(i0, i1 + 1):
+            for j in range(j0, j1 + 1):
+                cell_bin = Rect(die.x + i * bw, die.y + j * bh, bw, bh)
+                free = cell_bin.area - cell_bin.intersection(rect).area
+                capacity[i, j] = min(capacity[i, j],
+                                     free * config.target_density)
+
+    areas = np.array([c.area for c in clustered.clusters])
+    n = len(areas)
+    for _ in range(config.diffusion_iters):
+        np.clip(x, die.x + 1e-6, die.x2 - 1e-6, out=x)
+        np.clip(y, die.y + 1e-6, die.y2 - 1e-6, out=y)
+        bi = np.minimum(((x - die.x) / bw).astype(int), bins - 1)
+        bj = np.minimum(((y - die.y) / bh).astype(int), bins - 1)
+        usage = np.zeros((bins, bins))
+        np.add.at(usage, (bi, bj), areas)
+        over = usage - capacity
+        if over.max() <= 0:
+            break
+        # Gradient of overflow -> displacement field per bin.
+        pressure = np.maximum(over, 0.0) / (capacity + 1e-9)
+        gx = np.zeros_like(pressure)
+        gy = np.zeros_like(pressure)
+        gx[:-1, :] += pressure[1:, :] - pressure[:-1, :]
+        gx[1:, :] += pressure[1:, :] - pressure[:-1, :]
+        gy[:, :-1] += pressure[:, 1:] - pressure[:, :-1]
+        gy[:, 1:] += pressure[:, 1:] - pressure[:, :-1]
+        # Clusters in overfull bins move down-gradient plus jitterless
+        # deterministic tie-break by index parity.
+        step = 0.5 * max(bw, bh)
+        move = pressure[bi, bj] > 0
+        x[move] -= np.sign(gx[bi, bj][move]) * step
+        y[move] -= np.sign(gy[bi, bj][move]) * step
+    np.clip(x, die.x + 1e-6, die.x2 - 1e-6, out=x)
+    np.clip(y, die.y + 1e-6, die.y2 - 1e-6, out=y)
+
+
+def place_cells(flat: FlatDesign, placement: MacroPlacement,
+                port_positions: Dict[str, Point],
+                config: Optional[PlacerConfig] = None,
+                clustered: Optional[ClusteredNetlist] = None
+                ) -> CellPlacement:
+    """Place standard-cell clusters given a macro placement."""
+    config = config or PlacerConfig()
+    clustered = clustered or cluster_cells(flat)
+    n = clustered.n_clusters
+    die = placement.die
+    if n == 0:
+        return CellPlacement(clustered, np.zeros(0), np.zeros(0), die)
+
+    laplacian, bx, by = _build_system(clustered, flat, placement,
+                                      port_positions, config)
+    x0 = np.full(n, die.center.x)
+    y0 = np.full(n, die.center.y)
+    x, _ = cg(laplacian, bx, x0=x0, rtol=config.cg_tol,
+              maxiter=config.cg_maxiter)
+    y, _ = cg(laplacian, by, x0=y0, rtol=config.cg_tol,
+              maxiter=config.cg_maxiter)
+
+    _diffuse(clustered, x, y, die,
+             [m.rect for m in placement.macros.values()], config)
+    return CellPlacement(clustered, x, y, die)

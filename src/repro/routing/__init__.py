@@ -1,0 +1,13 @@
+"""Global-routing congestion estimation.
+
+The paper's congestion column (GRC %) is global-routing overflow from a
+commercial router.  This package reproduces the referee with a G-cell
+grid and probabilistic L-routing: every net spreads demand over its two
+L-shaped routes; macro footprints consume routing capacity.  The
+reported figure is total overflow as a percentage of total capacity.
+"""
+
+from repro.routing.grid import RoutingGrid
+from repro.routing.congestion import CongestionReport, estimate_congestion
+
+__all__ = ["CongestionReport", "RoutingGrid", "estimate_congestion"]

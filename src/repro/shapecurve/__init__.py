@@ -1,0 +1,16 @@
+"""Shape curves: the sets of bounding boxes that can hold a macro layout.
+
+A shape curve (the paper's Γ) is a Pareto front of ``(width, height)``
+pairs; a box is feasible for a block when it dominates at least one curve
+point.  Curves compose under horizontal / vertical slicing cuts, which is
+what lets the top-down layout generator check macro legality at every
+level of the slicing tree.
+"""
+
+from repro.shapecurve.curve import ShapeCurve
+from repro.shapecurve.generation import (
+    curve_for_macros,
+    generate_shape_curves,
+)
+
+__all__ = ["ShapeCurve", "curve_for_macros", "generate_shape_curves"]

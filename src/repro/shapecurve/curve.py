@@ -1,0 +1,243 @@
+"""Pareto shape curves and their slicing composition.
+
+A :class:`ShapeCurve` stores the minimal bounding boxes able to hold some
+placement of a set of macros (Fig. 4b of the paper).  Points are kept
+sorted by increasing width / decreasing height and pruned to the Pareto
+front.  The *empty* curve represents a block with no macros: every box,
+however small, is feasible for it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+Pointwh = Tuple[float, float]
+
+#: Curves are downsampled to this many points after composition so that
+#: repeated composition up a deep tree stays cheap.
+MAX_POINTS = 48
+
+
+def _pareto_prune(points: Iterable[Pointwh]) -> List[Pointwh]:
+    """Keep only non-dominated (w, h) points, sorted by width.
+
+    Point ``a`` dominates ``b`` when ``a.w <= b.w`` and ``a.h <= b.h``.
+    """
+    pts = sorted(set((float(w), float(h)) for w, h in points))
+    front: List[Pointwh] = []
+    best_h = float("inf")
+    for w, h in pts:
+        if h < best_h - 1e-12:
+            front.append((w, h))
+            best_h = h
+    return front
+
+
+def _downsample(points: List[Pointwh], limit: int) -> List[Pointwh]:
+    """Thin a Pareto front to ``limit`` points, keeping the extremes."""
+    if len(points) <= limit:
+        return points
+    step = (len(points) - 1) / (limit - 1)
+    picked = [points[round(i * step)] for i in range(limit)]
+    return _pareto_prune(picked)
+
+
+class ShapeCurve:
+    """An immutable Pareto front of feasible bounding boxes.
+
+    Parameters
+    ----------
+    points:
+        Candidate ``(width, height)`` boxes; dominated points are pruned.
+        An empty iterable yields the *trivial* curve (no macro constraint).
+    """
+
+    __slots__ = ("_points",)
+
+    def __init__(self, points: Iterable[Pointwh] = ()):
+        self._points: Tuple[Pointwh, ...] = tuple(_pareto_prune(points))
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def trivial(cls) -> "ShapeCurve":
+        """Curve of a macro-free block: any box is feasible."""
+        return cls(())
+
+    @classmethod
+    def for_rect(cls, w: float, h: float,
+                 rotatable: bool = True) -> "ShapeCurve":
+        """Curve of a single rigid macro (optionally 90-degree rotatable)."""
+        pts = [(w, h)]
+        if rotatable and abs(w - h) > 1e-12:
+            pts.append((h, w))
+        return cls(pts)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def points(self) -> Tuple[Pointwh, ...]:
+        return self._points
+
+    @property
+    def is_trivial(self) -> bool:
+        return not self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ShapeCurve) and self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    def __repr__(self) -> str:
+        if self.is_trivial:
+            return "ShapeCurve(trivial)"
+        pts = ", ".join(f"({w:.3g},{h:.3g})" for w, h in self._points[:4])
+        more = "..." if len(self._points) > 4 else ""
+        return f"ShapeCurve([{pts}{more}])"
+
+    def feasible(self, w: float, h: float, tol: float = 1e-9) -> bool:
+        """Whether a ``w`` x ``h`` box can hold the macros of this block."""
+        if self.is_trivial:
+            return True
+        for pw, ph in self._points:
+            if pw <= w + tol and ph <= h + tol:
+                return True
+        return False
+
+    def min_height_for_width(self, w: float,
+                             tol: float = 1e-9) -> Optional[float]:
+        """Smallest feasible height for a box of width ``w`` (None if none)."""
+        if self.is_trivial:
+            return 0.0
+        best: Optional[float] = None
+        for pw, ph in self._points:
+            if pw <= w + tol and (best is None or ph < best):
+                best = ph
+        return best
+
+    def min_width_for_height(self, h: float,
+                             tol: float = 1e-9) -> Optional[float]:
+        """Smallest feasible width for a box of height ``h`` (None if none)."""
+        if self.is_trivial:
+            return 0.0
+        best: Optional[float] = None
+        for pw, ph in self._points:
+            if ph <= h + tol and (best is None or pw < best):
+                best = pw
+        return best
+
+    @property
+    def min_width(self) -> float:
+        """Width below which no box is feasible (0 for the trivial curve)."""
+        return self._points[0][0] if self._points else 0.0
+
+    @property
+    def min_height(self) -> float:
+        """Height below which no box is feasible (0 for the trivial curve)."""
+        return self._points[-1][1] if self._points else 0.0
+
+    @property
+    def min_area(self) -> float:
+        """Area of the smallest-area point on the curve."""
+        if self.is_trivial:
+            return 0.0
+        return min(w * h for w, h in self._points)
+
+    def min_area_point(self) -> Optional[Pointwh]:
+        """The curve point with the smallest area (None when trivial)."""
+        if self.is_trivial:
+            return None
+        return min(self._points, key=lambda p: p[0] * p[1])
+
+    def best_point_for(self, w: float, h: float) -> Optional[Pointwh]:
+        """Feasible curve point closest in aspect ratio to a w-by-h box.
+
+        Used when a leaf block is finally assigned a rectangle and its
+        internal macro layout must pick a realizable shape.
+        """
+        feas = [(pw, ph) for pw, ph in self._points
+                if pw <= w + 1e-9 and ph <= h + 1e-9]
+        if not feas:
+            return None
+        target = h / w if w > 0 else float("inf")
+        return min(feas, key=lambda p: abs((p[1] / p[0]) - target))
+
+    # -- transforms --------------------------------------------------------
+
+    def transposed(self) -> "ShapeCurve":
+        """Curve with width and height swapped (90-degree rotation)."""
+        if self.is_trivial:
+            return self
+        return ShapeCurve((h, w) for w, h in self._points)
+
+    def with_rotations(self) -> "ShapeCurve":
+        """Union of this curve and its transpose."""
+        if self.is_trivial:
+            return self
+        pts = list(self._points) + [(h, w) for w, h in self._points]
+        return ShapeCurve(pts)
+
+    def inflated(self, factor: float) -> "ShapeCurve":
+        """Scale both sides of every point by ``sqrt(factor)``.
+
+        Useful for adding whitespace headroom around macro layouts.
+        """
+        if factor < 0:
+            raise ValueError("inflation factor must be non-negative")
+        s = factor ** 0.5
+        return ShapeCurve((w * s, h * s) for w, h in self._points)
+
+    # -- composition -------------------------------------------------------
+
+    def compose_horizontal(self, other: "ShapeCurve",
+                           limit: int = MAX_POINTS) -> "ShapeCurve":
+        """Curve of two blocks placed side by side (a vertical cut).
+
+        Widths add, heights take the max.  Trivial curves are identity
+        elements: glue blocks do not constrain the macro layout.
+        """
+        if self.is_trivial:
+            return other
+        if other.is_trivial:
+            return self
+        pts = [(w1 + w2, max(h1, h2))
+               for w1, h1 in self._points
+               for w2, h2 in other._points]
+        curve = ShapeCurve(pts)
+        curve._points = tuple(_downsample(list(curve._points), limit))
+        return curve
+
+    def compose_vertical(self, other: "ShapeCurve",
+                         limit: int = MAX_POINTS) -> "ShapeCurve":
+        """Curve of two blocks stacked (a horizontal cut).
+
+        Heights add, widths take the max.
+        """
+        if self.is_trivial:
+            return other
+        if other.is_trivial:
+            return self
+        pts = [(max(w1, w2), h1 + h2)
+               for w1, h1 in self._points
+               for w2, h2 in other._points]
+        curve = ShapeCurve(pts)
+        curve._points = tuple(_downsample(list(curve._points), limit))
+        return curve
+
+
+def compose_many(curves: Sequence[ShapeCurve], horizontal: bool) -> ShapeCurve:
+    """Fold a sequence of curves with a single cut direction."""
+    result = ShapeCurve.trivial()
+    for curve in curves:
+        if horizontal:
+            result = result.compose_horizontal(curve)
+        else:
+            result = result.compose_vertical(curve)
+    return result

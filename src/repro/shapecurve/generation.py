@@ -1,0 +1,152 @@
+"""Shape-curve generation for hierarchy nodes (paper Sect. IV-A).
+
+At the leaves of the hierarchy tree a node's curve is just its macro's
+two orientations.  At intermediate nodes the children's shapes cannot be
+composed directly (the hierarchy tree is not a slicing tree), so an
+area-optimizing slicing floorplan search over the child curves generates
+"a set of shape combinations with small area which are valid for the
+node".  Several annealing runs with different target aspect ratios seed
+a diverse Pareto front.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.shapecurve.curve import ShapeCurve, compose_many
+from repro.slicing.anneal import AnnealConfig, Annealer
+from repro.slicing.polish import PolishExpression
+from repro.slicing.tree import annotate_curves, build_tree
+
+
+@dataclass
+class ShapeGenConfig:
+    """Knobs for the per-node shape search.
+
+    The defaults favour speed: shape curves are computed once for every
+    macro-bearing hierarchy node, so each search must stay in the
+    milliseconds range.
+    """
+
+    seed: int = 0
+    aspect_targets: Sequence[float] = (0.35, 0.6, 1.0, 1.7, 2.9)
+    anneal: AnnealConfig = None
+    compose_limit: int = 10
+    max_leaves: int = 24
+    aspect_penalty: float = 0.22
+
+    def __post_init__(self) -> None:
+        if self.anneal is None:
+            self.anneal = AnnealConfig(seed=self.seed, moves_per_block=70,
+                                       min_moves=160, max_moves=2600,
+                                       moves_per_temperature=24)
+
+
+def _area_cost(leaf_curves: List[ShapeCurve], ar_target: float,
+               limit: int, penalty: float) -> Callable[[PolishExpression], float]:
+    """Cost = smallest root-curve area, softly biased toward ``ar_target``."""
+    log_target = math.log(ar_target)
+
+    def cost(expr: PolishExpression) -> float:
+        root = build_tree(expr)
+        curve = annotate_curves(root, leaf_curves, limit)
+        best = math.inf
+        for w, h in curve.points:
+            if w <= 0 or h <= 0:
+                continue
+            bias = 1.0 + penalty * abs(math.log(h / w) - log_target)
+            best = min(best, w * h * bias)
+        return best if best < math.inf else 1e30
+
+    return cost
+
+
+def _chunked(curves: List[ShapeCurve], size: int) -> List[List[ShapeCurve]]:
+    return [curves[i:i + size] for i in range(0, len(curves), size)]
+
+
+def curve_for_macros(curves: Sequence[ShapeCurve],
+                     config: Optional[ShapeGenConfig] = None) -> ShapeCurve:
+    """Shape curve of a group of blocks with the given child curves.
+
+    Runs an area-minimizing slicing search for each target aspect ratio
+    and merges every root curve seen into one Pareto front.  Groups
+    larger than ``config.max_leaves`` are combined hierarchically in
+    chunks, trading a little optimality for bounded runtime.
+    """
+    config = config or ShapeGenConfig()
+    real = [c for c in curves if not c.is_trivial]
+    if not real:
+        return ShapeCurve.trivial()
+    if len(real) == 1:
+        return real[0].with_rotations()
+    if len(real) > config.max_leaves:
+        merged = [curve_for_macros(chunk, config)
+                  for chunk in _chunked(real, config.max_leaves)]
+        return curve_for_macros(merged, config)
+
+    rng = random.Random(config.seed)
+    points: List = []
+
+    # Deterministic extreme seeds: a single row and a single column give
+    # the widest and tallest feasible shapes cheaply.
+    points.extend(compose_many(real, horizontal=True).points)
+    points.extend(compose_many(real, horizontal=False).points)
+
+    for ar_target in config.aspect_targets:
+        cost_fn = _area_cost(list(real), ar_target,
+                             config.compose_limit, config.aspect_penalty)
+        annealer = Annealer(cost_fn, config.anneal)
+        initial = PolishExpression.initial(len(real), rng)
+        result = annealer.run(initial)
+        root = build_tree(result.best)
+        curve = annotate_curves(root, list(real), config.compose_limit)
+        points.extend(curve.points)
+
+    return ShapeCurve(points)
+
+
+def generate_shape_curves(root: Hashable,
+                          children_of: Callable[[Hashable], Sequence],
+                          own_macro_curves_of: Callable[[Hashable],
+                                                        Sequence[ShapeCurve]],
+                          config: Optional[ShapeGenConfig] = None
+                          ) -> Dict[Hashable, ShapeCurve]:
+    """Bottom-up S_Γ computation over an arbitrary hierarchy tree.
+
+    Parameters
+    ----------
+    root:
+        Root node of the hierarchy (any hashable).
+    children_of:
+        Returns the child nodes of a node.
+    own_macro_curves_of:
+        Returns the curves of macros instantiated *directly* at a node
+        (not through children).
+    config:
+        Search knobs shared by every node.
+
+    Returns a dict mapping every node (in the subtree of ``root``) to its
+    shape curve; macro-free subtrees map to the trivial curve.
+    """
+    config = config or ShapeGenConfig()
+    curves: Dict[Hashable, ShapeCurve] = {}
+
+    def visit(node: Hashable) -> ShapeCurve:
+        child_curves = [visit(child) for child in children_of(node)]
+        own = list(own_macro_curves_of(node))
+        parts = own + [c for c in child_curves if not c.is_trivial]
+        if not parts:
+            curve = ShapeCurve.trivial()
+        elif len(parts) == 1:
+            curve = parts[0].with_rotations()
+        else:
+            curve = curve_for_macros(parts, config)
+        curves[node] = curve
+        return curve
+
+    visit(root)
+    return curves

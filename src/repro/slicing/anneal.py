@@ -1,0 +1,158 @@
+"""A small, deterministic simulated-annealing engine.
+
+Both HiDaP annealing problems (shape-curve generation and per-level
+layout generation) share this engine.  The state is always a Polish
+expression; the problem supplies the cost function.  Cooling is
+geometric; the initial temperature is calibrated from the cost spread of
+random perturbations so the same configuration works across problem
+scales.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.slicing.moves import perturb
+from repro.slicing.polish import PolishExpression
+
+
+@dataclass
+class AnnealConfig:
+    """Annealing schedule parameters.
+
+    ``moves_per_block`` scales the iteration count with problem size, so
+    small trees anneal in milliseconds while big ones get a fair search.
+    """
+
+    seed: int = 0
+    moves_per_block: int = 220
+    min_moves: int = 400
+    max_moves: int = 30000
+    initial_acceptance: float = 0.85
+    #: With adaptive cooling (the default) the rate is derived from the
+    #: move budget so the temperature always sweeps from T0 down to
+    #: T0 * min_temperature_ratio within the run; this static rate is
+    #: only used when ``adaptive_cooling`` is off.
+    cooling: float = 0.94
+    adaptive_cooling: bool = True
+    moves_per_temperature: int = 40
+    min_temperature_ratio: float = 1e-4
+    restarts: int = 1
+
+    def total_moves(self, n_blocks: int) -> int:
+        moves = self.moves_per_block * max(1, n_blocks)
+        return max(self.min_moves, min(self.max_moves, moves))
+
+    def cooling_rate(self, budget: int) -> float:
+        if not self.adaptive_cooling:
+            return self.cooling
+        steps = max(2.0, budget / max(1, self.moves_per_temperature))
+        return self.min_temperature_ratio ** (1.0 / steps)
+
+
+@dataclass
+class AnnealResult:
+    """Best state found and bookkeeping about the search."""
+
+    best: PolishExpression
+    best_cost: float
+    initial_cost: float
+    moves_tried: int
+    moves_accepted: int
+
+
+class Annealer:
+    """Simulated annealing over Polish expressions.
+
+    Parameters
+    ----------
+    cost_fn:
+        Maps a ``PolishExpression`` to a non-negative float; lower is
+        better.  The engine treats it as a black box.
+    config:
+        Schedule parameters; defaults are tuned for floorplans of 2-40
+        blocks.
+    """
+
+    def __init__(self, cost_fn: Callable[[PolishExpression], float],
+                 config: Optional[AnnealConfig] = None):
+        self.cost_fn = cost_fn
+        self.config = config or AnnealConfig()
+
+    # -- internals ----------------------------------------------------------
+
+    def _calibrate_temperature(self, expr: PolishExpression,
+                               rng: random.Random) -> float:
+        """Pick T0 so ~initial_acceptance of uphill moves are accepted."""
+        deltas = []
+        probe = expr.copy()
+        cost = self.cost_fn(probe)
+        for _ in range(24):
+            perturb(probe, rng)
+            new_cost = self.cost_fn(probe)
+            if new_cost > cost:
+                deltas.append(new_cost - cost)
+            cost = new_cost
+        if not deltas:
+            return max(1e-9, abs(cost)) * 0.1
+        # The median is robust against the huge deltas produced when a
+        # perturbation crosses into heavily-penalized illegal layouts.
+        deltas.sort()
+        typical_uphill = deltas[len(deltas) // 2]
+        accept = min(0.99, max(0.01, self.config.initial_acceptance))
+        return -typical_uphill / math.log(accept)
+
+    def _run_once(self, initial: PolishExpression,
+                  rng: random.Random) -> AnnealResult:
+        current = initial.copy()
+        current_cost = self.cost_fn(current)
+        best = current.copy()
+        best_cost = current_cost
+        initial_cost = current_cost
+
+        n_blocks = current.n_blocks
+        if n_blocks < 2:
+            return AnnealResult(best, best_cost, initial_cost, 0, 0)
+
+        temperature = self._calibrate_temperature(current, rng)
+        floor = temperature * self.config.min_temperature_ratio
+        budget = self.config.total_moves(n_blocks)
+        cooling = self.config.cooling_rate(budget)
+        tried = 0
+        accepted = 0
+
+        while tried < budget and temperature > floor:
+            for _ in range(self.config.moves_per_temperature):
+                if tried >= budget:
+                    break
+                tried += 1
+                candidate = current.copy()
+                perturb(candidate, rng)
+                candidate_cost = self.cost_fn(candidate)
+                delta = candidate_cost - current_cost
+                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    current = candidate
+                    current_cost = candidate_cost
+                    accepted += 1
+                    if current_cost < best_cost:
+                        best = current.copy()
+                        best_cost = current_cost
+            temperature *= cooling
+        return AnnealResult(best, best_cost, initial_cost, tried, accepted)
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, initial: PolishExpression) -> AnnealResult:
+        """Anneal from ``initial``; multi-restart keeps the best result."""
+        rng = random.Random(self.config.seed)
+        best_result: Optional[AnnealResult] = None
+        for restart in range(max(1, self.config.restarts)):
+            start = (initial if restart == 0
+                     else PolishExpression.initial(initial.n_blocks, rng))
+            result = self._run_once(start, rng)
+            if best_result is None or result.best_cost < best_result.best_cost:
+                best_result = result
+        return best_result

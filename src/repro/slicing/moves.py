@@ -1,0 +1,91 @@
+"""The three Wong-Liu perturbations on normalized Polish expressions.
+
+The paper (Sect. IV-E) perturbs the slicing structure "with equal
+probability with one of three operations: operand swap, operator
+inversion or operand-operator swap (similar to [13])", [13] being
+Wong & Liu, DAC'86.  These are:
+
+* **M1** — swap two operands adjacent in operand order;
+* **M2** — complement a maximal chain of operators;
+* **M3** — swap an adjacent operand/operator pair (only when the result
+  is still valid and normalized).
+
+All moves mutate the expression in place and return a description of the
+applied move so a caller can log or undo it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.slicing.polish import PolishExpression, is_operator, other_operator
+
+#: How many times a move is re-drawn before the perturbation gives up and
+#: falls back to another move kind.  M3 candidates are frequently illegal.
+_MAX_TRIES = 8
+
+
+def move_operand_swap(expr: PolishExpression,
+                      rng: random.Random) -> Optional[Tuple]:
+    """M1: swap two operands that are adjacent in operand order."""
+    positions = expr.operand_positions()
+    if len(positions) < 2:
+        return None
+    k = rng.randrange(len(positions) - 1)
+    i, j = positions[k], positions[k + 1]
+    expr.tokens[i], expr.tokens[j] = expr.tokens[j], expr.tokens[i]
+    return ("M1", i, j)
+
+
+def move_chain_invert(expr: PolishExpression,
+                      rng: random.Random) -> Optional[Tuple]:
+    """M2: complement every operator in one maximal operator chain."""
+    chains = expr.operator_chains()
+    if not chains:
+        return None
+    start, end = chains[rng.randrange(len(chains))]
+    for i in range(start, end + 1):
+        expr.tokens[i] = other_operator(expr.tokens[i])
+    return ("M2", start, end)
+
+
+def move_operand_operator_swap(expr: PolishExpression,
+                               rng: random.Random) -> Optional[Tuple]:
+    """M3: swap an adjacent operand/operator pair, keeping validity.
+
+    Candidates are drawn at random and validated on a scratch copy;
+    invalid draws are retried a bounded number of times.
+    """
+    n = len(expr.tokens)
+    if n < 3:
+        return None
+    for _ in range(_MAX_TRIES):
+        i = rng.randrange(n - 1)
+        a, b = expr.tokens[i], expr.tokens[i + 1]
+        if is_operator(a) == is_operator(b):
+            continue
+        expr.tokens[i], expr.tokens[i + 1] = b, a
+        if expr.is_valid():
+            return ("M3", i, i + 1)
+        expr.tokens[i], expr.tokens[i + 1] = a, b   # revert illegal swap
+    return None
+
+
+_MOVES = (move_operand_swap, move_chain_invert, move_operand_operator_swap)
+
+
+def perturb(expr: PolishExpression, rng: random.Random) -> Tuple:
+    """Apply one of M1/M2/M3 chosen uniformly at random.
+
+    If the chosen move cannot produce a legal perturbation the other
+    moves are tried, so the function always perturbs expressions with at
+    least two operands.
+    """
+    order = list(_MOVES)
+    rng.shuffle(order)
+    for move in order:
+        applied = move(expr, rng)
+        if applied is not None:
+            return applied
+    raise ValueError("expression cannot be perturbed (single block?)")

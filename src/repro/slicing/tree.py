@@ -1,0 +1,115 @@
+"""Slicing trees built from Polish expressions.
+
+The tree is the structural view the layout generator walks top-down; the
+Polish expression is the flat view the annealer perturbs.  ``build_tree``
+converts the latter into the former with a standard postfix evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.shapecurve.curve import ShapeCurve
+from repro.slicing.polish import H, PolishExpression, is_operator
+
+
+class SlicingNode:
+    """A node of a slicing tree.
+
+    Leaves carry a ``block`` index; internal nodes carry an operator
+    (``'H'`` stacked / ``'V'`` side-by-side) and exactly two children.
+    Composite block characterizations 〈Γ, a_m, a_t〉 are annotated onto
+    nodes by the floorplan engine (see ``repro.floorplan``).
+    """
+
+    __slots__ = ("op", "block", "left", "right",
+                 "curve", "area_min", "area_target")
+
+    def __init__(self, op: Optional[str] = None, block: Optional[int] = None,
+                 left: "SlicingNode" = None, right: "SlicingNode" = None):
+        self.op = op
+        self.block = block
+        self.left = left
+        self.right = right
+        # Composite characterization, filled by annotate_* helpers.
+        self.curve: Optional[ShapeCurve] = None
+        self.area_min: float = 0.0
+        self.area_target: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.block is not None
+
+    def leaves(self) -> List["SlicingNode"]:
+        """All leaf nodes, left to right."""
+        if self.is_leaf:
+            return [self]
+        return self.left.leaves() + self.right.leaves()
+
+    def blocks(self) -> List[int]:
+        """Block indices at the leaves, left to right."""
+        return [leaf.block for leaf in self.leaves()]
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return f"Leaf({self.block})"
+        return f"Node({self.op}, {self.left!r}, {self.right!r})"
+
+
+def build_tree(expr: PolishExpression) -> SlicingNode:
+    """Build the slicing tree described by a valid Polish expression."""
+    stack: List[SlicingNode] = []
+    for token in expr.tokens:
+        if is_operator(token):
+            if len(stack) < 2:
+                raise ValueError(f"invalid expression: {expr!r}")
+            right = stack.pop()
+            left = stack.pop()
+            stack.append(SlicingNode(op=token, left=left, right=right))
+        else:
+            stack.append(SlicingNode(block=token))
+    if len(stack) != 1:
+        raise ValueError(f"invalid expression: {expr!r}")
+    return stack[0]
+
+
+def annotate_curves(root: SlicingNode, leaf_curves: List[ShapeCurve],
+                    limit: int = None) -> ShapeCurve:
+    """Fill composite shape curves bottom-up; returns the root curve.
+
+    A vertical cut (`V`) puts children side by side so curves compose
+    horizontally; a horizontal cut (`H`) stacks them so curves compose
+    vertically.  ``limit`` caps the number of Pareto points kept per
+    composition (smaller limits make annealing cost evaluation cheaper).
+    """
+    from repro.shapecurve.curve import MAX_POINTS
+    if limit is None:
+        limit = MAX_POINTS
+    if root.is_leaf:
+        root.curve = leaf_curves[root.block]
+        return root.curve
+    left = annotate_curves(root.left, leaf_curves, limit)
+    right = annotate_curves(root.right, leaf_curves, limit)
+    if root.op == H:
+        root.curve = left.compose_vertical(right, limit)
+    else:
+        root.curve = left.compose_horizontal(right, limit)
+    return root.curve
+
+
+def annotate_areas(root: SlicingNode, minimum: List[float],
+                   target: List[float]) -> None:
+    """Fill composite a_m / a_t sums bottom-up (paper Sect. IV-E)."""
+    if root.is_leaf:
+        root.area_min = minimum[root.block]
+        root.area_target = target[root.block]
+        return
+    annotate_areas(root.left, minimum, target)
+    annotate_areas(root.right, minimum, target)
+    root.area_min = root.left.area_min + root.right.area_min
+    root.area_target = root.left.area_target + root.right.area_target

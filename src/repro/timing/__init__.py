@@ -1,0 +1,16 @@
+"""Static timing analysis over the sequential graph.
+
+The paper's WNS/TNS columns come from a commercial STA after placement.
+This package reproduces the referee at the granularity macro placement
+actually influences: every Gseq edge is a register-to-register (or
+macro/port) path whose delay is a fixed logic part plus a wire part
+proportional to the placed distance of its endpoints.  The clock period
+is design-specific but flow-independent, so slack comparisons between
+flows are fair.
+"""
+
+from repro.timing.delay import DelayModel
+from repro.timing.sta import TimingReport, analyze_timing, default_clock_period
+
+__all__ = ["DelayModel", "TimingReport", "analyze_timing",
+           "default_clock_period"]

@@ -1,0 +1,29 @@
+"""Wire and stage delay models.
+
+A linear (buffered-wire) delay model is the standard assumption at
+floorplan stage: repeater insertion makes delay proportional to
+distance.  Units are abstract: one "ns" equals the delay of a nominal
+logic stage; the wire coefficient converts site units to the same
+scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Coefficients of the stage-delay estimate.
+
+    delay(edge) = clk_to_q + logic_delay + wire_per_unit * distance
+    """
+
+    clk_to_q: float = 0.12
+    logic_delay: float = 0.55
+    setup: float = 0.08
+    wire_per_unit: float = 0.011
+
+    def path_delay(self, distance: float) -> float:
+        return (self.clk_to_q + self.logic_delay + self.setup
+                + self.wire_per_unit * max(0.0, distance))

@@ -1,0 +1,22 @@
+"""Visualization: ASCII/SVG floorplans, density maps, dataflow diagrams.
+
+Reproduces the paper's visual artifacts: the multi-level evolution of
+Fig. 1, the standard-cell density maps of Fig. 9a-c, and the top-level
+Gdf block-floorplan diagram of Fig. 9d (the paper's "interactive graphic
+tool" equivalent, rendered to SVG/ASCII instead of a GUI).
+"""
+
+from repro.viz.ascii_art import ascii_floorplan
+from repro.viz.density import density_map, density_stats
+from repro.viz.svg import svg_floorplan, svg_density_map
+from repro.viz.dfgraph import gdf_to_dot, svg_dataflow
+
+__all__ = [
+    "ascii_floorplan",
+    "density_map",
+    "density_stats",
+    "gdf_to_dot",
+    "svg_dataflow",
+    "svg_density_map",
+    "svg_floorplan",
+]

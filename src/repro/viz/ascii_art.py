@@ -1,0 +1,58 @@
+"""ASCII floorplan rendering for terminals and tests."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry.rect import Rect
+
+#: Fill characters cycled over rectangles.
+_FILLS = "##@@%%**++==ooxx"
+
+
+def ascii_floorplan(die: Rect, rects: Sequence[Tuple[str, Rect]],
+                    width: int = 64, height: Optional[int] = None) -> str:
+    """Draw labelled rectangles inside the die as character art.
+
+    Each rectangle is filled with a cycling character and carries its
+    label (clipped) in the top-left corner.  Aspect ratio is preserved
+    assuming terminal cells are twice as tall as wide.
+    """
+    if height is None:
+        height = max(8, int(width * (die.h / max(die.w, 1e-9)) * 0.5))
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> Tuple[int, int]:
+        cx = int((x - die.x) / die.w * (width - 1)) if die.w else 0
+        cy = int((y - die.y) / die.h * (height - 1)) if die.h else 0
+        # Flip y: row 0 is the top of the die.
+        return (min(max(cx, 0), width - 1),
+                height - 1 - min(max(cy, 0), height - 1))
+
+    for index, (label, rect) in enumerate(rects):
+        fill = _FILLS[index % len(_FILLS)]
+        x0, y1 = to_cell(rect.x, rect.y)
+        x1, y0 = to_cell(rect.x2, rect.y2)
+        for row in range(y0, y1 + 1):
+            for col in range(x0, x1 + 1):
+                grid[row][col] = fill
+        text = label[:max(0, x1 - x0 + 1)]
+        for k, ch in enumerate(text):
+            if x0 + k < width:
+                grid[y0][x0 + k] = ch
+
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return border + "\n" + body + "\n" + border
+
+
+def ascii_histogram(values: Dict[int, float], width: int = 40) -> str:
+    """A quick latency-histogram bar chart (for Gdf edge inspection)."""
+    if not values:
+        return "(empty)"
+    peak = max(values.values())
+    lines = []
+    for latency in sorted(values):
+        bar = "#" * max(1, int(values[latency] / peak * width))
+        lines.append(f"lat {latency:3d} | {bar} {values[latency]:g}")
+    return "\n".join(lines)

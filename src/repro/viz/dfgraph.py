@@ -1,0 +1,85 @@
+"""Dataflow-graph diagrams (the paper's Fig. 9d and interactive tool).
+
+The paper ships an interactive viewer where each colored box is a Gdf
+vertex and arrow brightness encodes affinity.  This module renders the
+same content as Graphviz DOT text and as a standalone SVG: blocks drawn
+at their floorplan positions, edges weighted by affinity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.geometry.rect import Point, Rect
+from repro.hiergraph.gdf import Gdf
+
+
+def gdf_to_dot(gdf: Gdf, lam: float = 0.5, latency_k: float = 1.0,
+               min_affinity: float = 0.0) -> str:
+    """Render Gdf as a Graphviz digraph with affinity edge weights."""
+    lines = ["digraph Gdf {", '  rankdir=LR;',
+             '  node [shape=box, style=filled, fillcolor="#cfe2f3"];']
+    for node in gdf.nodes:
+        shape = "box" if node.is_block else "ellipse"
+        fill = "#cfe2f3" if node.is_block else "#f9cb9c"
+        lines.append(f'  n{node.index} [label="{node.name}", '
+                     f'shape={shape}, fillcolor="{fill}"];')
+    peak = max((edge.affinity(lam, latency_k)
+                for edge in gdf.edges.values()), default=1.0) or 1.0
+    for (i, j), edge in sorted(gdf.edges.items()):
+        a = edge.affinity(lam, latency_k)
+        if a <= min_affinity:
+            continue
+        width = 0.5 + 3.5 * a / peak
+        lines.append(f'  n{i} -> n{j} [penwidth={width:.2f}, '
+                     f'label="{a:.0f}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def svg_dataflow(gdf: Gdf, positions: Dict[int, Rect], die: Rect,
+                 lam: float = 0.5, latency_k: float = 1.0,
+                 scale: float = 4.0) -> str:
+    """Fig. 9d: blocks at their floorplan rectangles + affinity arrows.
+
+    ``positions`` maps Gdf node index -> rectangle; nodes without one
+    (ports) are skipped as arrow endpoints are enough for them.
+    """
+    from repro.viz.svg import _PALETTE, _rect_elem, _svg_header
+
+    parts = _svg_header(die.w, die.h, scale)
+    parts.append(_rect_elem(Rect(die.x, die.y, die.w, die.h), die,
+                            "#ffffff", "#000", stroke_w=0.8))
+    centers: Dict[int, Point] = {}
+    for node in gdf.nodes:
+        rect = positions.get(node.index)
+        if rect is None:
+            continue
+        color = _PALETTE[node.index % len(_PALETTE)]
+        parts.append(_rect_elem(rect, die, color, opacity=0.7))
+        centers[node.index] = rect.center
+        font = max(1.5, min(rect.h * 0.3, 5.0))
+        parts.append(
+            f'<text x="{rect.x - die.x + 0.8:.2f}" '
+            f'y="{die.y2 - rect.y2 + font + 0.6:.2f}" '
+            f'font-size="{font:.1f}" font-family="monospace">'
+            f'{node.name.split("/")[-1]}</text>')
+
+    peak = max((edge.affinity(lam, latency_k)
+                for edge in gdf.edges.values()), default=1.0) or 1.0
+    for (i, j), edge in sorted(gdf.edges.items()):
+        if i not in centers or j not in centers:
+            continue
+        a = edge.affinity(lam, latency_k)
+        if a <= 0:
+            continue
+        width = 0.3 + 2.2 * (a / peak)
+        opacity = 0.25 + 0.75 * (a / peak)
+        p, q = centers[i], centers[j]
+        parts.append(
+            f'<line x1="{p.x - die.x:.2f}" y1="{die.y2 - p.y:.2f}" '
+            f'x2="{q.x - die.x:.2f}" y2="{die.y2 - q.y:.2f}" '
+            f'stroke="#c00" stroke-width="{width:.2f}" '
+            f'stroke-opacity="{opacity:.2f}"/>')
+    parts.append("</svg>")
+    return "\n".join(parts)

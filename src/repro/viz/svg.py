@@ -1,0 +1,89 @@
+"""SVG rendering of floorplans and density maps."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+_PALETTE = ["#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+            "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"]
+
+
+def _heat_color(value: float) -> str:
+    """Blue (0) -> yellow (0.5) -> red (1) heat ramp."""
+    v = min(max(value, 0.0), 1.0)
+    if v < 0.5:
+        t = v / 0.5
+        r, g, b = int(40 + t * 215), int(80 + t * 175), int(200 - t * 150)
+    else:
+        t = (v - 0.5) / 0.5
+        r, g, b = 255, int(255 - t * 200), int(50 - t * 50)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def _svg_header(w: float, h: float, scale: float) -> List[str]:
+    return [f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{w * scale:.0f}" height="{h * scale:.0f}" '
+            f'viewBox="0 0 {w:.2f} {h:.2f}">']
+
+
+def _rect_elem(rect: Rect, die: Rect, fill: str, stroke: str = "#222",
+               opacity: float = 1.0, stroke_w: float = 0.4) -> str:
+    # SVG y grows downward; flip against the die.
+    y = die.y2 - rect.y2
+    return (f'<rect x="{rect.x - die.x:.2f}" y="{y:.2f}" '
+            f'width="{rect.w:.2f}" height="{rect.h:.2f}" '
+            f'fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{stroke_w}" fill-opacity="{opacity:.2f}"/>')
+
+
+def svg_floorplan(die: Rect, rects: Sequence[Tuple[str, Rect]],
+                  scale: float = 4.0,
+                  color_by_prefix: bool = True) -> str:
+    """Render labelled rectangles on the die as an SVG document.
+
+    Rectangles sharing a path prefix (text before the first '/') share
+    a color, visually grouping subsystems.
+    """
+    parts = _svg_header(die.w, die.h, scale)
+    parts.append(_rect_elem(Rect(die.x, die.y, die.w, die.h), die,
+                            "#f7f7f7", "#000", stroke_w=0.8))
+    prefix_color: Dict[str, str] = {}
+    for label, rect in rects:
+        prefix = label.split("/")[0] if color_by_prefix else label
+        color = prefix_color.setdefault(
+            prefix, _PALETTE[len(prefix_color) % len(_PALETTE)])
+        parts.append(_rect_elem(rect, die, color, opacity=0.85))
+        font = max(1.2, min(rect.w / max(len(label), 1) * 1.6, rect.h * 0.5,
+                            4.0))
+        parts.append(
+            f'<text x="{rect.x - die.x + 0.6:.2f}" '
+            f'y="{die.y2 - rect.y2 + font + 0.4:.2f}" '
+            f'font-size="{font:.1f}" font-family="monospace" '
+            f'fill="#111">{label.split("/")[-1]}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_density_map(die: Rect, density: np.ndarray,
+                    macro_rects: Sequence[Rect] = (),
+                    scale: float = 4.0) -> str:
+    """Render a density raster (Fig. 9 style) with macro outlines."""
+    bins_x, bins_y = density.shape
+    bw = die.w / bins_x
+    bh = die.h / bins_y
+    peak = max(float(density.max()), 1e-12)
+    parts = _svg_header(die.w, die.h, scale)
+    for i in range(bins_x):
+        for j in range(bins_y):
+            value = float(density[i, j]) / peak
+            cell = Rect(die.x + i * bw, die.y + j * bh, bw, bh)
+            parts.append(_rect_elem(cell, die, _heat_color(value),
+                                    stroke="none", stroke_w=0.0))
+    for rect in macro_rects:
+        parts.append(_rect_elem(rect, die, "none", "#000", stroke_w=0.6))
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,49 @@
+"""Property-based tests for the baseline packing machinery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.common import pack_perimeter
+from repro.geometry.rect import Rect, total_overlap_area
+
+dims_strategy = st.lists(
+    st.tuples(st.floats(min_value=1.0, max_value=12.0),
+              st.floats(min_value=1.0, max_value=12.0)),
+    min_size=1, max_size=24)
+
+
+class TestPackPerimeterProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(dims_strategy)
+    def test_all_placed_no_overlap(self, dims):
+        """Whenever total item area fits comfortably, the packing is
+        complete, disjoint and in-die."""
+        total_area = sum(w * h for w, h in dims)
+        side = max(40.0, (4 * total_area) ** 0.5)
+        die = Rect(0, 0, side, side)
+        rects = pack_perimeter(die, dims)
+        assert len(rects) == len(dims)
+        assert all(r is not None for r in rects)
+        assert total_overlap_area(rects) < 1e-6
+        for rect in rects:
+            assert die.contains_rect(rect, tol=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(dims_strategy)
+    def test_footprints_preserved_up_to_rotation(self, dims):
+        die = Rect(0, 0, 200, 200)
+        rects = pack_perimeter(die, dims)
+        for (w, h), rect in zip(dims, rects):
+            assert {round(rect.w, 6), round(rect.h, 6)} \
+                == {round(w, 6), round(h, 6)} \
+                or (round(rect.w, 6) == round(h, 6)
+                    and round(rect.h, 6) == round(w, 6))
+
+    def test_order_determines_positions(self):
+        die = Rect(0, 0, 60, 60)
+        dims = [(6, 3), (4, 4), (8, 2)]
+        a = pack_perimeter(die, dims)
+        b = pack_perimeter(die, dims)
+        assert a == b
+        swapped = pack_perimeter(die, [dims[1], dims[0], dims[2]])
+        assert swapped != a

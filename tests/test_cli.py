@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (["gen", "c1"], ["place", "c1"], ["suite"],
+                     ["info", "c1"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_gen_writes_json(self, tmp_path, capsys):
+        out = str(tmp_path / "c1.json")
+        verilog = str(tmp_path / "c1.v")
+        assert main(["gen", "c1", "--scale", "tiny", "--out", out,
+                     "--verilog", verilog]) == 0
+        data = json.loads(open(out).read())
+        assert data["name"] == "c1"
+        assert "module" in open(verilog).read()
+
+    def test_info_runs(self, capsys):
+        assert main(["info", "c1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "32 macros" in out
+        assert "Gseq" in out
+
+    def test_info_on_json(self, tmp_path, capsys):
+        out = str(tmp_path / "d.json")
+        main(["gen", "c1", "--scale", "tiny", "--out", out])
+        assert main(["info", out]) == 0
+
+    def test_place_hidap(self, tmp_path, capsys):
+        out = str(tmp_path / "placement.json")
+        svg = str(tmp_path / "fp.svg")
+        assert main(["place", "c1", "--scale", "tiny", "--flow",
+                     "hidap", "--effort", "fast", "--out", out,
+                     "--svg", svg]) == 0
+        data = json.loads(open(out).read())
+        assert data["flow"] == "hidap"
+        assert len(data["macros"]) == 32
+        assert open(svg).read().startswith("<svg")
+
+    def test_place_unknown_suite_design(self):
+        with pytest.raises(SystemExit):
+            main(["place", "c99", "--scale", "tiny"])
+
+    def test_place_indeda(self, capsys):
+        assert main(["place", "c1", "--scale", "tiny", "--flow",
+                     "indeda"]) == 0
+        assert "indeda" in capsys.readouterr().out
+
+    def test_suite_subset_flows(self, capsys):
+        assert main(["suite", "--scale", "tiny", "--designs", "c1",
+                     "--flows", "indeda,handfp-strip",
+                     "--effort", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Table III" in out
+        assert "c1" in out

@@ -1,0 +1,79 @@
+"""Extra coverage for table formatting and normalization edge cases."""
+
+import pytest
+
+from repro.eval.flow import FlowMetrics
+from repro.eval.tables import (
+    format_table2,
+    format_table3,
+    geomean,
+    normalize_to_handfp,
+)
+
+
+def _row(design, flow, wl, seconds=1.0):
+    return FlowMetrics(design=design, flow=flow, wl_meters=wl,
+                       grc_percent=2.0, wns_percent=-3.0, tns=-1.0,
+                       placer_seconds=seconds)
+
+
+class TestNormalizationEdgeCases:
+    def test_missing_handfp_yields_zero_norm(self):
+        rows = [_row("c1", "indeda", 2.0), _row("c1", "hidap", 1.5)]
+        normalize_to_handfp(rows)
+        assert all(r.wl_norm == 0.0 for r in rows)
+
+    def test_multiple_designs_independent(self):
+        rows = [_row("c1", "handfp", 1.0), _row("c1", "hidap", 2.0),
+                _row("c2", "handfp", 4.0), _row("c2", "hidap", 2.0)]
+        normalize_to_handfp(rows)
+        norms = {(r.design, r.flow): r.wl_norm for r in rows}
+        assert norms[("c1", "hidap")] == pytest.approx(2.0)
+        assert norms[("c2", "hidap")] == pytest.approx(0.5)
+
+
+class TestTableFormatting:
+    def test_table2_skips_missing_flows(self):
+        rows = [_row("c1", "hidap", 1.0), _row("c1", "handfp", 1.0)]
+        normalize_to_handfp(rows)
+        text = format_table2(rows)
+        assert "hidap" in text
+        assert "indeda" not in text.replace("IndEDA", "")
+
+    def test_table2_without_handfp_uses_meters(self):
+        rows = [_row("c1", "hidap", 1.5)]
+        normalize_to_handfp(rows)
+        text = format_table2(rows)
+        assert "1.500" in text
+
+    def test_table3_preserves_design_order(self):
+        rows = []
+        for design in ("c3", "c1", "c2"):
+            rows.append(_row(design, "handfp", 1.0))
+        normalize_to_handfp(rows)
+        text = format_table3(rows)
+        # First-seen order, not alphabetical.
+        assert text.index("c3") < text.index("c1") < text.index("c2")
+
+    def test_row_format(self):
+        row = _row("c1", "hidap", 1.234)
+        row.wl_norm = 1.1
+        text = row.row()
+        assert "c1" in text
+        assert "1.234" in text
+        assert "1.100" in text
+
+
+class TestGeomeanMore:
+    def test_single_value(self):
+        assert geomean([3.7]) == pytest.approx(3.7)
+
+    def test_scale_invariance(self):
+        a = geomean([1.0, 2.0, 4.0])
+        b = geomean([10.0, 20.0, 40.0])
+        assert b == pytest.approx(10.0 * a)
+
+    def test_less_outlier_sensitive_than_mean(self):
+        values = [1.0, 1.0, 1.0, 10.0]
+        arith = sum(values) / len(values)
+        assert geomean(values) < arith

@@ -1,0 +1,124 @@
+"""Tests for the synthetic design generator."""
+
+import pytest
+
+from repro.gen.designs import build_design, die_for, suite_specs
+from repro.gen.macros import make_macro_library
+from repro.netlist.flatten import flatten
+from repro.netlist.stats import design_stats
+from repro.netlist.validate import validate_design
+
+PAPER_MACROS = {"c1": 32, "c2": 100, "c3": 94, "c4": 122,
+                "c5": 133, "c6": 90, "c7": 108, "c8": 37}
+
+
+class TestSuiteSpecs:
+    def test_eight_designs(self):
+        specs = suite_specs("tiny")
+        assert [s.name for s in specs] == [f"c{i}" for i in range(1, 9)]
+
+    def test_macro_counts_match_paper(self):
+        for spec in suite_specs("tiny"):
+            assert spec.total_macros == PAPER_MACROS[spec.name]
+
+    def test_scales_differ_in_cells_not_macros(self):
+        tiny = {s.name: s for s in suite_specs("tiny")}
+        full = {s.name: s for s in suite_specs("full")}
+        strictly_bigger = 0
+        for name in tiny:
+            assert tiny[name].total_macros == full[name].total_macros
+            tiny_fill = sum(x.filler_cells
+                            for x in tiny[name].subsystems)
+            full_fill = sum(x.filler_cells
+                            for x in full[name].subsystems)
+            assert full_fill >= tiny_fill
+            if full_fill > tiny_fill:
+                strictly_bigger += 1
+        # Small designs may bottom out at their structural size, but
+        # most of the suite must actually scale.
+        assert strictly_bigger >= 6
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            suite_specs("huge")
+
+
+class TestBuildDesign:
+    def test_macro_count_exact(self, tiny_c1):
+        design, _truth, _w, _h = tiny_c1
+        assert design_stats(design).macros == 32
+
+    def test_validates_clean(self, tiny_c1):
+        design, _truth, _w, _h = tiny_c1
+        errors = [i for i in validate_design(design)
+                  if i.severity == "error"]
+        assert not errors
+
+    def test_deterministic(self):
+        spec = suite_specs("tiny")[0]
+        a, _ = build_design(spec)
+        b, _ = build_design(spec)
+        from repro.netlist.verilog import design_to_verilog
+        assert design_to_verilog(a) == design_to_verilog(b)
+
+    def test_ground_truth_covers_all_macros(self, tiny_c1, tiny_c1_flat):
+        _design, truth, _w, _h = tiny_c1
+        claimed = set()
+        for paths in truth.subsystem_macros.values():
+            claimed.update(paths)
+        assert claimed == {m.path for m in tiny_c1_flat.macros()}
+
+    def test_order_matches_subsystems(self, tiny_c1):
+        design, truth, _w, _h = tiny_c1
+        top_instances = {i.name for i in design.top.module_instances()}
+        assert set(truth.order) == top_instances
+
+    def test_all_patterns_buildable(self):
+        """c4 exercises pipeline, memsys, dsp and xbar together."""
+        spec = next(s for s in suite_specs("tiny") if s.name == "c4")
+        design, truth = build_design(spec)
+        stats = design_stats(design)
+        assert stats.macros == PAPER_MACROS["c4"]
+        errors = [i for i in validate_design(design)
+                  if i.severity == "error"]
+        assert not errors
+
+    def test_die_sizing(self, tiny_c1):
+        design, _truth, _w, _h = tiny_c1
+        w, h = die_for(design, utilization=0.5)
+        stats = design_stats(design)
+        assert w * h == pytest.approx(stats.total_area / 0.5, rel=0.01)
+
+    def test_macro_area_dominates(self, tiny_c1):
+        """The paper targets designs dominated by macro blocks."""
+        design, _truth, _w, _h = tiny_c1
+        stats = design_stats(design)
+        assert stats.macro_area > stats.stdcell_area
+
+
+class TestMacroLibrary:
+    def test_deterministic(self):
+        a = make_macro_library(7, 64)
+        b = make_macro_library(7, 64)
+        assert set(a.cells) == set(b.cells)
+        for name in a.cells:
+            assert a.cells[name] == b.cells[name]
+
+    def test_unique_names_across_seeds(self):
+        a = make_macro_library(1, 64)
+        b = make_macro_library(2, 64)
+        assert not (set(a.cells) & set(b.cells))
+
+    def test_sampling_deterministic(self):
+        import random
+        lib = make_macro_library(3, 32)
+        seq_a = [lib.sample(random.Random(5)).name for _ in range(4)]
+        seq_b = [lib.sample(random.Random(5)).name for _ in range(4)]
+        assert seq_a == seq_b
+
+    def test_macro_ports(self):
+        lib = make_macro_library(3, 32)
+        for cell in lib.cells.values():
+            assert cell.port("din").width == 32
+            assert cell.port("dout").width == 32
+            assert cell.is_macro

@@ -1,0 +1,77 @@
+"""Tests for the eight macro orientations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.orientation import (
+    FOOTPRINT_PRESERVING,
+    SIDE_SWAPPING,
+    Orientation,
+)
+
+dims = st.floats(min_value=0.5, max_value=100.0, allow_nan=False)
+fracs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestFootprint:
+    def test_preserving_group(self):
+        for orient in FOOTPRINT_PRESERVING:
+            assert orient.footprint(3, 7) == (3, 7)
+            assert not orient.swaps_sides
+
+    def test_swapping_group(self):
+        for orient in SIDE_SWAPPING:
+            assert orient.footprint(3, 7) == (7, 3)
+            assert orient.swaps_sides
+
+    def test_groups_cover_all(self):
+        assert set(FOOTPRINT_PRESERVING) | set(SIDE_SWAPPING) \
+            == set(Orientation)
+
+
+class TestPinOffsets:
+    def test_identity(self):
+        assert Orientation.N.pin_offset(1, 2, 10, 6) == (1, 2)
+
+    def test_mirror_y(self):
+        assert Orientation.FN.pin_offset(1, 2, 10, 6) == (9, 2)
+
+    def test_rotate_180(self):
+        assert Orientation.S.pin_offset(1, 2, 10, 6) == (9, 4)
+
+    def test_mirror_x(self):
+        assert Orientation.FS.pin_offset(1, 2, 10, 6) == (1, 4)
+
+    def test_rotate_cw(self):
+        # A pin at the lower-left travels to the upper-left under E.
+        assert Orientation.E.pin_offset(0, 0, 10, 6) == (0, 10)
+
+    def test_rotate_ccw(self):
+        assert Orientation.W.pin_offset(0, 0, 10, 6) == (6, 0)
+
+    @given(fracs, fracs, dims, dims)
+    def test_pin_stays_in_footprint(self, fx, fy, w, h):
+        """Transformed pins stay inside the oriented footprint."""
+        px, py = fx * w, fy * h
+        for orient in Orientation:
+            ow, oh = orient.footprint(w, h)
+            tx, ty = orient.pin_offset(px, py, w, h)
+            assert -1e-6 <= tx <= ow + 1e-6
+            assert -1e-6 <= ty <= oh + 1e-6
+
+    @given(fracs, fracs, dims, dims)
+    def test_double_mirror_is_identity(self, fx, fy, w, h):
+        """FN twice = N: mirroring is an involution."""
+        px, py = fx * w, fy * h
+        mx, my = Orientation.FN.pin_offset(px, py, w, h)
+        rx, ry = Orientation.FN.pin_offset(mx, my, w, h)
+        assert rx == pytest.approx(px, abs=1e-9)
+        assert ry == pytest.approx(py, abs=1e-9)
+
+    def test_flips_of_preserving(self):
+        flips = Orientation.flips_of(Orientation.N)
+        assert set(flips) == set(FOOTPRINT_PRESERVING)
+
+    def test_flips_of_swapping(self):
+        flips = Orientation.flips_of(Orientation.E)
+        assert set(flips) == set(SIDE_SWAPPING)

@@ -1,0 +1,36 @@
+"""Tests for array-name clustering."""
+
+from repro.hiergraph.arrays import array_base, cluster_names
+
+
+class TestArrayBase:
+    def test_bracket_pattern(self):
+        assert array_base("data_reg[7]") == ("data_reg", 7)
+
+    def test_suffix_pattern(self):
+        assert array_base("data_reg_7") == ("data_reg", 7)
+
+    def test_plain_name(self):
+        assert array_base("ctrl") == ("ctrl", 0)
+
+    def test_bracket_takes_precedence(self):
+        assert array_base("bank_2[3]") == ("bank_2", 3)
+
+    def test_nested_indices(self):
+        base, index = array_base("r[1][2]")
+        assert index == 2
+        assert base == "r[1]"
+
+
+class TestClusterNames:
+    def test_groups(self):
+        groups = cluster_names(["a[0]", "a[1]", "b", "c_0", "c_1"])
+        assert groups == {"a": ["a[0]", "a[1]"], "b": ["b"],
+                          "c": ["c_0", "c_1"]}
+
+    def test_preserves_order(self):
+        groups = cluster_names(["x[1]", "x[0]"])
+        assert groups["x"] == ["x[1]", "x[0]"]
+
+    def test_empty(self):
+        assert cluster_names([]) == {}

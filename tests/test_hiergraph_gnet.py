@@ -1,0 +1,52 @@
+"""Tests for the bit-level netlist graph Gnet."""
+
+import pytest
+
+from repro.hiergraph.gnet import NodeKind, build_gnet
+
+
+class TestGnet:
+    def test_node_counts(self, two_stage_flat):
+        gnet = build_gnet(two_stage_flat)
+        counts = gnet.counts()
+        assert counts[NodeKind.MACRO] == 2
+        assert counts[NodeKind.FLOP] == 32
+        assert counts[NodeKind.COMB] == 0
+        assert counts[NodeKind.PORT] == 16        # 8-bit pin + 8-bit pout
+
+    def test_edges_directed_driver_to_load(self, two_stage_flat):
+        gnet = build_gnet(two_stage_flat)
+        mem = two_stage_flat.cell_by_path("sa/mem")
+        mem_node = gnet.node_of_cell[mem.index]
+        # mem.dout drives out_reg.d pins: successors must be flops.
+        assert gnet.succ[mem_node], "macro should drive something"
+        for succ in gnet.succ[mem_node]:
+            assert gnet.kinds[succ] is NodeKind.FLOP
+        # mem.din is driven by in_reg flops.
+        for pred in gnet.pred[mem_node]:
+            assert gnet.kinds[pred] is NodeKind.FLOP
+
+    def test_port_nodes_drive_inward(self, two_stage_flat):
+        gnet = build_gnet(two_stage_flat)
+        pin0 = gnet.node_of_port[("pin", 0)]
+        assert gnet.succ[pin0], "input port bit must drive a flop"
+        assert not gnet.pred[pin0]
+        pout0 = gnet.node_of_port[("pout", 0)]
+        assert gnet.pred[pout0]
+        assert not gnet.succ[pout0]
+
+    def test_no_duplicate_edges(self, tiny_c1_flat):
+        gnet = build_gnet(tiny_c1_flat)
+        for node in range(gnet.n_nodes):
+            assert len(gnet.succ[node]) == len(set(gnet.succ[node]))
+
+    def test_neighbors_undirected(self, two_stage_flat):
+        gnet = build_gnet(two_stage_flat)
+        mem = two_stage_flat.cell_by_path("sa/mem")
+        node = gnet.node_of_cell[mem.index]
+        nbrs = gnet.neighbors_undirected(node)
+        assert set(nbrs) == set(gnet.succ[node]) | set(gnet.pred[node])
+
+    def test_repr(self, two_stage_flat):
+        text = repr(build_gnet(two_stage_flat))
+        assert "macro=2" in text

@@ -1,0 +1,123 @@
+"""Tests for Bookshelf (.nodes/.nets/.pl) interchange."""
+
+import io
+
+import pytest
+
+from repro.core.result import MacroPlacement, PlacedMacro
+from repro.geometry.rect import Rect
+from repro.netlist.bookshelf import (
+    BookshelfError,
+    export_bookshelf,
+    import_bookshelf,
+    parse_nets,
+    parse_nodes,
+    write_nets,
+    write_nodes,
+    write_pl,
+)
+from repro.netlist.flatten import flatten
+from repro.netlist.stats import design_stats
+
+
+class TestExport:
+    def test_nodes_file(self, two_stage_flat):
+        buf = io.StringIO()
+        write_nodes(two_stage_flat, buf)
+        text = buf.getvalue()
+        assert text.startswith("UCLA nodes 1.0")
+        # 34 cells + 16 port-bit terminals (pin[8] + pout[8]).
+        assert "NumNodes : 50" in text
+        assert "NumTerminals : 18" in text
+        assert text.count("terminal") == 18
+        # Hierarchical separators are escaped for Bookshelf.
+        assert "sa/mem" not in text
+        assert "sa__mem" in text
+        assert "PORT__pin__0" in text
+
+    def test_nets_file(self, two_stage_flat):
+        buf = io.StringIO()
+        write_nets(two_stage_flat, buf)
+        text = buf.getvalue()
+        assert f"NumNets : {len(two_stage_flat.nets)}" in text
+        assert "NetDegree" in text
+        assert " O\n" in text and " I\n" in text
+
+    def test_pl_with_placement(self, two_stage_flat):
+        placement = MacroPlacement("d", "t", Rect(0, 0, 60, 30))
+        mem = two_stage_flat.cell_by_path("sa/mem")
+        placement.macros[mem.index] = PlacedMacro(
+            mem.index, mem.path, Rect(5, 12, 6, 4))
+        buf = io.StringIO()
+        write_pl(two_stage_flat, placement, buf)
+        text = buf.getvalue()
+        assert "sa__mem 5 12 : N /FIXED" in text
+
+    def test_export_files(self, two_stage_flat, tmp_path):
+        prefix = str(tmp_path / "ts")
+        export_bookshelf(two_stage_flat, prefix)
+        for suffix in (".nodes", ".nets", ".pl"):
+            assert (tmp_path / ("ts" + suffix.lstrip("."))).exists() \
+                or (tmp_path / ("ts" + suffix)).exists()
+
+
+class TestParse:
+    def test_parse_nodes(self):
+        text = ("UCLA nodes 1.0\n\nNumNodes : 2\nNumTerminals : 1\n"
+                "  a 4 2 terminal\n  b 1.5 1\n")
+        nodes = parse_nodes(text)
+        assert nodes == [("a", 4.0, 2.0, True), ("b", 1.5, 1.0, False)]
+
+    def test_parse_nodes_rejects_garbage(self):
+        with pytest.raises(BookshelfError):
+            parse_nodes("UCLA nodes 1.0\n???\n")
+
+    def test_parse_nets(self):
+        text = ("UCLA nets 1.0\n\nNumNets : 1\nNumPins : 2\n"
+                "NetDegree : 2 n0\n  a O\n  b I\n")
+        nets = parse_nets(text)
+        assert nets == [[("a", "O"), ("b", "I")]]
+
+    def test_parse_nets_requires_header(self):
+        with pytest.raises(BookshelfError):
+            parse_nets("a O\n")
+
+
+class TestRoundTrip:
+    def test_export_import(self, two_stage_flat, tmp_path):
+        prefix = str(tmp_path / "rt")
+        export_bookshelf(two_stage_flat, prefix)
+        design = import_bookshelf(open(prefix + ".nodes").read(),
+                                  open(prefix + ".nets").read(), "rt")
+        stats = design_stats(design)
+        # 34 real cells + 16 port-stub terminals.
+        assert stats.cells == 50
+        assert stats.macros == 18
+        # Connectivity survives: same number of multi-point nets.
+        back = flatten(design)
+        assert len(back.nets) == len(two_stage_flat.nets)
+
+    def test_imported_macros_keep_dimensions(self, two_stage_flat,
+                                             tmp_path):
+        prefix = str(tmp_path / "dim")
+        export_bookshelf(two_stage_flat, prefix)
+        design = import_bookshelf(open(prefix + ".nodes").read(),
+                                  open(prefix + ".nets").read())
+        flat = flatten(design)
+        dims = sorted((m.ctype.width, m.ctype.height)
+                      for m in flat.macros()
+                      if not m.path.startswith("PORT__"))
+        assert dims == [(6.0, 4.0), (6.0, 4.0)]
+
+    def test_imported_design_placeable_by_baseline(self, two_stage_flat,
+                                                   tmp_path):
+        """Bookshelf designs are flat: the IndEDA flow handles them."""
+        from repro.baselines.indeda import place_indeda
+        prefix = str(tmp_path / "pl")
+        export_bookshelf(two_stage_flat, prefix)
+        design = import_bookshelf(open(prefix + ".nodes").read(),
+                                  open(prefix + ".nets").read())
+        placement = place_indeda(design, 40.0, 40.0)
+        # Real macros plus the port-stub terminals get positions.
+        assert len(placement.macros) == 18
+        assert placement.macro_overlap_area() == pytest.approx(0.0)

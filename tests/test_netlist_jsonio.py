@@ -1,0 +1,53 @@
+"""Tests for JSON serialization round-trips."""
+
+import pytest
+
+from repro.netlist.flatten import flatten
+from repro.netlist.jsonio import (
+    cell_from_json,
+    cell_to_json,
+    design_from_json,
+    design_to_json,
+    load_design,
+    save_design,
+)
+from repro.netlist.stats import design_stats
+from tests.conftest import make_ram
+
+
+class TestCellRoundTrip:
+    def test_macro_with_geometry(self):
+        ram = make_ram()
+        back = cell_from_json(cell_to_json(ram))
+        assert back == ram
+
+    def test_flop(self):
+        from repro.netlist.cells import DEFAULT_FLOP
+        back = cell_from_json(cell_to_json(DEFAULT_FLOP))
+        assert back == DEFAULT_FLOP
+
+
+class TestDesignRoundTrip:
+    def test_two_stage(self, two_stage_design):
+        data = design_to_json(two_stage_design)
+        back = design_from_json(data)
+        assert design_stats(back).cells \
+            == design_stats(two_stage_design).cells
+        assert len(flatten(back).nets) \
+            == len(flatten(two_stage_design).nets)
+
+    def test_suite_design(self, tiny_c1):
+        design, _truth, _w, _h = tiny_c1
+        back = design_from_json(design_to_json(design))
+        orig_stats = design_stats(design)
+        new_stats = design_stats(back)
+        assert new_stats.cells == orig_stats.cells
+        assert new_stats.macros == orig_stats.macros
+        assert new_stats.total_area == pytest.approx(orig_stats.total_area)
+
+    def test_file_io(self, two_stage_design, tmp_path):
+        path = str(tmp_path / "d.json")
+        save_design(two_stage_design, path)
+        back = load_design(path)
+        assert back.name == two_stage_design.name
+        assert back.top.name == "top"

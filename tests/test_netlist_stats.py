@@ -1,0 +1,38 @@
+"""Tests for design statistics."""
+
+import pytest
+
+from repro.netlist.stats import design_stats
+
+
+class TestDesignStats:
+    def test_two_stage_counts(self, two_stage_design):
+        stats = design_stats(two_stage_design)
+        assert stats.cells == 34
+        assert stats.macros == 2
+        assert stats.flops == 32
+        assert stats.comb == 0
+
+    def test_areas(self, two_stage_design):
+        stats = design_stats(two_stage_design)
+        assert stats.macro_area == pytest.approx(48.0)
+        assert stats.stdcell_area == pytest.approx(32.0)
+        assert stats.total_area == pytest.approx(80.0)
+
+    def test_per_module(self, two_stage_design):
+        stats = design_stats(two_stage_design)
+        stage = stats.per_module["stage_a"]
+        assert stage.macros == 1
+        assert stage.flops == 16
+        assert stage.total_area == pytest.approx(40.0)
+
+    def test_summary_text(self, two_stage_design):
+        text = design_stats(two_stage_design).summary()
+        assert "34 cells" in text
+        assert "2 macros" in text
+
+    def test_shared_definitions_counted_per_instance(self, tiny_c1):
+        design, _truth, _w, _h = tiny_c1
+        stats = design_stats(design)
+        assert stats.macros == 32
+        assert stats.cells > 1000

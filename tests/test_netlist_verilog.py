@@ -1,0 +1,111 @@
+"""Tests for the structural Verilog writer/parser."""
+
+import pytest
+
+from repro.netlist.cells import DEFAULT_COMB, DEFAULT_FLOP
+from repro.netlist.flatten import flatten
+from repro.netlist.stats import design_stats
+from repro.netlist.verilog import (
+    VerilogSyntaxError,
+    design_to_verilog,
+    parse_verilog,
+)
+
+LIB = {"DFF": DEFAULT_FLOP, "COMB2": DEFAULT_COMB}
+
+
+class TestWriter:
+    def test_writes_all_modules(self, two_stage_design):
+        text = design_to_verilog(two_stage_design)
+        assert text.count("module ") == 3
+        assert text.strip().endswith("endmodule")
+        # Top module comes last by convention.
+        assert text.rfind("module top") > text.rfind("module stage_a")
+
+    def test_escaped_identifiers(self, two_stage_design):
+        text = design_to_verilog(two_stage_design)
+        assert "\\in_reg[0] " in text
+
+
+class TestRoundTrip:
+    def test_two_stage_roundtrip(self, two_stage_design):
+        from tests.conftest import make_ram
+        text = design_to_verilog(two_stage_design)
+        lib = dict(LIB)
+        lib["RAM8"] = make_ram()
+        parsed = parse_verilog(text, lib, "rt")
+        orig = design_stats(two_stage_design)
+        new = design_stats(parsed)
+        assert new.cells == orig.cells
+        assert new.macros == orig.macros
+        # Flat connectivity is preserved bit for bit.
+        assert len(flatten(parsed).nets) \
+            == len(flatten(two_stage_design).nets)
+
+    def test_suite_design_roundtrip(self, tiny_c1):
+        design, _truth, _w, _h = tiny_c1
+        text = design_to_verilog(design)
+        lib = design.cell_types()
+        parsed = parse_verilog(text, lib, "rt")
+        assert design_stats(parsed).cells == design_stats(design).cells
+        assert len(flatten(parsed).nets) == len(flatten(design).nets)
+
+
+class TestParserErrors:
+    def test_unknown_reference(self):
+        text = "module m (input a);\n  GHOST g (.p(a));\nendmodule"
+        with pytest.raises(VerilogSyntaxError, match="unknown reference"):
+            parse_verilog(text, LIB)
+
+    def test_undeclared_net(self):
+        text = "module m (input a);\n  DFF f (.d(zz));\nendmodule"
+        with pytest.raises(VerilogSyntaxError, match="undeclared net"):
+            parse_verilog(text, LIB)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(VerilogSyntaxError):
+            parse_verilog("assign x = y;", LIB)
+
+    def test_empty_input(self):
+        with pytest.raises(VerilogSyntaxError):
+            parse_verilog("   // just a comment\n", LIB)
+
+    def test_nonzero_lsb_rejected(self):
+        text = "module m (input [7:4] a);\nendmodule"
+        with pytest.raises(VerilogSyntaxError, match="msb:0"):
+            parse_verilog(text, LIB)
+
+
+class TestParserFeatures:
+    def test_bit_and_part_selects(self):
+        text = (
+            "module m (input [7:0] a, output z);\n"
+            "  wire [3:0] w;\n"
+            "  COMB2 g0 (.a0(a[3]), .a1(w[1]), .z(z));\n"
+            "  COMB2 g1 (.a0(a[7]), .a1(a[0]), .z(w[1]));\n"
+            "endmodule")
+        design = parse_verilog(text, LIB)
+        flat = flatten(design)
+        assert len(flat.cells) == 2
+
+    def test_comments_and_whitespace(self):
+        text = (
+            "// header\n"
+            "module m (input a, output z); /* inline */\n"
+            "  COMB2 g (.a0(a), .a1(a), .z(z)); // tail\n"
+            "endmodule\n")
+        design = parse_verilog(text, LIB)
+        assert len(list(design.top.leaf_instances())) == 1
+
+    def test_unconnected_pin(self):
+        text = ("module m (input a, output z);\n"
+                "  COMB2 g (.a0(a), .a1(), .z(z));\n"
+                "endmodule")
+        design = parse_verilog(text, LIB)
+        assert len(flatten(design).cells) == 1
+
+    def test_explicit_top_selection(self):
+        text = ("module a (input x);\nendmodule\n"
+                "module b (input y);\nendmodule")
+        design = parse_verilog(text, LIB, top="a")
+        assert design.top.name == "a"

@@ -1,0 +1,49 @@
+"""Public API surface checks: imports, exports, metadata."""
+
+import importlib
+
+import pytest
+
+
+class TestTopLevelExports:
+    def test_all_exports_resolve(self):
+        import repro
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+        major, minor, patch = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    def test_subpackages_importable(self):
+        for package in ("geometry", "netlist", "hiergraph", "shapecurve",
+                        "slicing", "floorplan", "core", "placement",
+                        "routing", "timing", "baselines", "gen", "eval",
+                        "viz"):
+            module = importlib.import_module(f"repro.{package}")
+            assert module.__doc__, f"repro.{package} needs a docstring"
+
+    def test_package_alls_resolve(self):
+        for package in ("netlist", "hiergraph", "shapecurve", "slicing",
+                        "floorplan", "core", "placement", "routing",
+                        "timing", "baselines", "gen", "eval", "viz",
+                        "geometry"):
+            module = importlib.import_module(f"repro.{package}")
+            for name in getattr(module, "__all__", ()):
+                assert hasattr(module, name), f"repro.{package}.{name}"
+
+
+class TestDocstrings:
+    def test_key_entry_points_documented(self):
+        from repro import HiDaP, HiDaPConfig, build_design, run_suite
+        for obj in (HiDaP, HiDaPConfig, build_design, run_suite):
+            assert obj.__doc__ and len(obj.__doc__) > 20
+
+    def test_core_methods_documented(self):
+        from repro.core.hidap import HiDaP
+        assert HiDaP.place.__doc__
+        from repro.floorplan.engine import generate_layout
+        assert generate_layout.__doc__
+        from repro.hiergraph.gdf import build_gdf
+        assert build_gdf.__doc__

@@ -1,0 +1,150 @@
+"""Tests for shape curves: Pareto pruning, queries, composition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.shapecurve.curve import ShapeCurve, compose_many
+
+sides = st.floats(min_value=0.5, max_value=200.0, allow_nan=False)
+points = st.lists(st.tuples(sides, sides), min_size=1, max_size=12)
+
+
+class TestConstruction:
+    def test_pareto_pruning(self):
+        curve = ShapeCurve([(4, 4), (2, 8), (8, 2), (5, 5)])
+        assert (5, 5) not in curve.points          # dominated by (4,4)
+        assert set(curve.points) == {(2, 8), (4, 4), (8, 2)}
+
+    def test_points_sorted_by_width(self):
+        curve = ShapeCurve([(8, 2), (2, 8), (4, 4)])
+        widths = [w for w, _h in curve.points]
+        assert widths == sorted(widths)
+
+    def test_trivial(self):
+        assert ShapeCurve.trivial().is_trivial
+        assert ShapeCurve.trivial().feasible(0.001, 0.001)
+
+    def test_for_rect_rotatable(self):
+        curve = ShapeCurve.for_rect(4, 2)
+        assert set(curve.points) == {(4, 2), (2, 4)}
+
+    def test_for_rect_square(self):
+        assert ShapeCurve.for_rect(3, 3).points == ((3, 3),)
+
+    def test_for_rect_fixed(self):
+        assert ShapeCurve.for_rect(4, 2, rotatable=False).points \
+            == ((4, 2),)
+
+    def test_equality_and_hash(self):
+        a = ShapeCurve([(2, 8), (4, 4)])
+        b = ShapeCurve([(4, 4), (2, 8), (5, 5)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestQueries:
+    curve = ShapeCurve([(2, 8), (4, 4), (8, 2)])
+
+    def test_feasible(self):
+        assert self.curve.feasible(4, 4)
+        assert self.curve.feasible(100, 2)
+        assert not self.curve.feasible(3, 3)
+        assert not self.curve.feasible(1, 100)
+
+    def test_min_height_for_width(self):
+        assert self.curve.min_height_for_width(4) == 4
+        assert self.curve.min_height_for_width(5) == 4
+        assert self.curve.min_height_for_width(8) == 2
+        assert self.curve.min_height_for_width(1) is None
+
+    def test_min_width_for_height(self):
+        assert self.curve.min_width_for_height(4) == 4
+        assert self.curve.min_width_for_height(1) is None
+
+    def test_extremes(self):
+        assert self.curve.min_width == 2
+        assert self.curve.min_height == 2
+        assert self.curve.min_area == 16
+        assert self.curve.min_area_point() in {(2, 8), (4, 4), (8, 2)}
+
+    def test_best_point_for(self):
+        assert self.curve.best_point_for(4.5, 4.5) == (4, 4)
+        assert self.curve.best_point_for(1, 1) is None
+
+    def test_trivial_queries(self):
+        trivial = ShapeCurve.trivial()
+        assert trivial.min_height_for_width(1) == 0.0
+        assert trivial.min_area == 0.0
+        assert trivial.min_area_point() is None
+
+
+class TestTransforms:
+    def test_transposed(self):
+        curve = ShapeCurve([(2, 8)])
+        assert curve.transposed().points == ((8, 2),)
+
+    def test_with_rotations(self):
+        curve = ShapeCurve([(2, 8)]).with_rotations()
+        assert set(curve.points) == {(2, 8), (8, 2)}
+
+    def test_inflated_area(self):
+        curve = ShapeCurve([(4, 4)]).inflated(1.21)
+        w, h = curve.points[0]
+        assert w * h == pytest.approx(16 * 1.21)
+
+    def test_inflated_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ShapeCurve([(4, 4)]).inflated(-1)
+
+
+class TestComposition:
+    def test_horizontal_adds_width(self):
+        a = ShapeCurve([(2, 3)])
+        b = ShapeCurve([(4, 1)])
+        c = a.compose_horizontal(b)
+        assert c.points == ((6, 3),)
+
+    def test_vertical_adds_height(self):
+        a = ShapeCurve([(2, 3)])
+        b = ShapeCurve([(4, 1)])
+        c = a.compose_vertical(b)
+        assert c.points == ((4, 4),)
+
+    def test_trivial_identity(self):
+        a = ShapeCurve([(2, 3)])
+        assert a.compose_horizontal(ShapeCurve.trivial()) == a
+        assert ShapeCurve.trivial().compose_vertical(a) == a
+
+    def test_compose_many(self):
+        curves = [ShapeCurve([(1, 1)])] * 3
+        row = compose_many(curves, horizontal=True)
+        col = compose_many(curves, horizontal=False)
+        assert row.points == ((3, 1),)
+        assert col.points == ((1, 3),)
+
+    @given(points, points)
+    def test_composition_area_superadditive(self, pa, pb):
+        """Composed min area >= sum of component min areas."""
+        a, b = ShapeCurve(pa), ShapeCurve(pb)
+        for composed in (a.compose_horizontal(b), a.compose_vertical(b)):
+            assert composed.min_area >= a.min_area + b.min_area - 1e-6
+
+    @given(points, points)
+    def test_composition_feasibility_sound(self, pa, pb):
+        """Every composed point really holds both components side by
+        side / stacked."""
+        a, b = ShapeCurve(pa), ShapeCurve(pb)
+        for w, h in a.compose_horizontal(b).points:
+            # There must be a split w = wa + wb with both feasible.
+            ok = any(a.feasible(wa, h) and b.feasible(w - wa, h)
+                     for wa, _ha in a.points if wa <= w + 1e-9)
+            assert ok
+
+    @given(points)
+    def test_pareto_invariant(self, pts):
+        """No curve point dominates another."""
+        curve = ShapeCurve(pts)
+        for i, (w1, h1) in enumerate(curve.points):
+            for j, (w2, h2) in enumerate(curve.points):
+                if i != j:
+                    assert not (w1 <= w2 and h1 <= h2)

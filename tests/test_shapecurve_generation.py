@@ -1,0 +1,82 @@
+"""Tests for SA-based shape-curve generation (S_Γ)."""
+
+import pytest
+
+from repro.shapecurve.curve import ShapeCurve
+from repro.shapecurve.generation import (
+    ShapeGenConfig,
+    curve_for_macros,
+    generate_shape_curves,
+)
+
+
+def macro_curves(*dims):
+    return [ShapeCurve.for_rect(w, h) for w, h in dims]
+
+
+class TestCurveForMacros:
+    def test_empty(self):
+        assert curve_for_macros([]).is_trivial
+
+    def test_trivial_inputs_ignored(self):
+        curves = [ShapeCurve.trivial(), ShapeCurve.for_rect(2, 3)]
+        result = curve_for_macros(curves)
+        assert result.feasible(3, 2)
+
+    def test_single_macro_gets_rotations(self):
+        result = curve_for_macros(macro_curves((2, 6)))
+        assert result.feasible(2, 6)
+        assert result.feasible(6, 2)
+
+    def test_area_lower_bound(self):
+        dims = [(4, 2), (3, 3), (2, 2)]
+        result = curve_for_macros(macro_curves(*dims))
+        total = sum(w * h for w, h in dims)
+        assert result.min_area >= total - 1e-9
+
+    def test_contains_row_and_column_extremes(self):
+        """The deterministic row/column seeds guarantee elongated
+        shapes exist on the curve."""
+        result = curve_for_macros(macro_curves((4, 2), (4, 2), (4, 2)))
+        # A single row: widths add with the short side up.
+        assert result.feasible(12.1, 2.1)
+        # A single column.
+        assert result.feasible(4.1, 6.1)
+
+    def test_deterministic(self):
+        dims = [(5, 3), (2, 7), (4, 4), (1, 9)]
+        config = ShapeGenConfig(seed=42)
+        a = curve_for_macros(macro_curves(*dims), config)
+        b = curve_for_macros(macro_curves(*dims), ShapeGenConfig(seed=42))
+        assert a == b
+
+    def test_large_group_chunks(self):
+        """Groups beyond max_leaves are composed hierarchically."""
+        config = ShapeGenConfig(seed=0, max_leaves=4)
+        curves = macro_curves(*[(2, 2)] * 9)
+        result = curve_for_macros(curves, config)
+        assert not result.is_trivial
+        assert result.min_area >= 9 * 4 - 1e-9
+
+
+class TestGenerateShapeCurves:
+    def test_tree_walk(self):
+        """Bottom-up S_Γ over a small dict tree."""
+        children = {"root": ["a", "b"], "a": [], "b": []}
+        own = {"root": [], "a": macro_curves((2, 2)),
+               "b": macro_curves((3, 1))}
+        curves = generate_shape_curves(
+            "root", children_of=lambda n: children[n],
+            own_macro_curves_of=lambda n: own[n])
+        assert set(curves) == {"root", "a", "b"}
+        assert curves["a"].feasible(2, 2)
+        assert curves["root"].min_area >= 4 + 3 - 1e-9
+
+    def test_macro_free_subtree_is_trivial(self):
+        children = {"root": ["glue"], "glue": []}
+        own = {"root": [], "glue": []}
+        curves = generate_shape_curves(
+            "root", children_of=lambda n: children[n],
+            own_macro_curves_of=lambda n: own[n])
+        assert curves["root"].is_trivial
+        assert curves["glue"].is_trivial

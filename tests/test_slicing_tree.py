@@ -1,0 +1,66 @@
+"""Tests for slicing-tree construction and annotation."""
+
+import pytest
+
+from repro.shapecurve.curve import ShapeCurve
+from repro.slicing.polish import H, PolishExpression, V
+from repro.slicing.tree import (
+    SlicingNode,
+    annotate_areas,
+    annotate_curves,
+    build_tree,
+)
+
+
+class TestBuildTree:
+    def test_single_leaf(self):
+        root = build_tree(PolishExpression([0]))
+        assert root.is_leaf
+        assert root.block == 0
+
+    def test_simple_tree(self):
+        root = build_tree(PolishExpression([0, 1, V, 2, H]))
+        assert root.op == H
+        assert root.left.op == V
+        assert root.right.block == 2
+        assert root.blocks() == [0, 1, 2]
+
+    def test_depth(self):
+        chain = build_tree(PolishExpression([0, 1, V, 2, H, 3, V]))
+        assert chain.depth() == 4
+
+    def test_invalid_expression_raises(self):
+        with pytest.raises(ValueError):
+            build_tree(PolishExpression([0, V, 1]))
+        with pytest.raises(ValueError):
+            build_tree(PolishExpression([0, 1]))
+
+
+class TestAnnotations:
+    def test_areas_sum_up(self):
+        root = build_tree(PolishExpression([0, 1, V, 2, H]))
+        annotate_areas(root, [1.0, 2.0, 3.0], [2.0, 3.0, 4.0])
+        assert root.area_min == 6.0
+        assert root.area_target == 9.0
+        assert root.left.area_min == 3.0
+
+    def test_curves_compose_by_operator(self):
+        # 0 and 1 side by side (V), then 2 stacked on top (H).
+        root = build_tree(PolishExpression([0, 1, V, 2, H]))
+        curves = [ShapeCurve([(2, 2)]), ShapeCurve([(3, 2)]),
+                  ShapeCurve([(4, 1)])]
+        composed = annotate_curves(root, curves)
+        # V: (2+3, max(2,2)) = (5,2); H: (max(5,4), 2+1) = (5,3).
+        assert composed.points == ((5, 3),)
+
+    def test_trivial_leaves_do_not_constrain(self):
+        root = build_tree(PolishExpression([0, 1, V]))
+        curves = [ShapeCurve.trivial(), ShapeCurve([(3, 2)])]
+        composed = annotate_curves(root, curves)
+        assert composed.points == ((3, 2),)
+
+    def test_limit_caps_points(self):
+        root = build_tree(PolishExpression([0, 1, V]))
+        many = ShapeCurve([(i, 40 - i) for i in range(1, 21)])
+        composed = annotate_curves(root, [many, many], limit=4)
+        assert len(composed) <= 4

@@ -1,0 +1,106 @@
+"""Tests for visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rect import Point, Rect
+from repro.hiergraph.gdf import Gdf, GdfEdge, GdfNode
+from repro.hiergraph.histogram import LatencyHistogram
+from repro.viz.ascii_art import ascii_floorplan, ascii_histogram
+from repro.viz.density import density_map, density_stats
+from repro.viz.dfgraph import gdf_to_dot, svg_dataflow
+from repro.viz.svg import svg_density_map, svg_floorplan
+
+
+def small_gdf():
+    nodes = [GdfNode(0, "A", "block", [0]), GdfNode(1, "B", "block", [1]),
+             GdfNode(2, "pin", "port", [2])]
+    edge = GdfEdge(0, 1, LatencyHistogram({1: 16}),
+                   LatencyHistogram({2: 8}))
+    edge2 = GdfEdge(2, 0, LatencyHistogram({1: 8}), LatencyHistogram())
+    return Gdf(nodes=nodes, edges={(0, 1): edge, (2, 0): edge2},
+               group_of_seq={})
+
+
+class TestAscii:
+    def test_floorplan_renders(self):
+        die = Rect(0, 0, 100, 50)
+        art = ascii_floorplan(die, [("blk", Rect(10, 10, 30, 20))],
+                              width=40)
+        lines = art.splitlines()
+        assert lines[0].startswith("+")
+        assert any("b" in line for line in lines)
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_histogram(self):
+        text = ascii_histogram({1: 32, 3: 8})
+        assert "lat   1" in text
+        assert text.count("\n") == 1
+
+    def test_empty_histogram(self):
+        assert ascii_histogram({}) == "(empty)"
+
+
+class TestSvg:
+    def test_floorplan_well_formed(self):
+        die = Rect(0, 0, 100, 50)
+        svg = svg_floorplan(die, [("sub/a", Rect(0, 0, 10, 10)),
+                                  ("sub/b", Rect(20, 0, 10, 10))])
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<rect") >= 3          # die + 2 blocks
+
+    def test_density_map_svg(self):
+        die = Rect(0, 0, 10, 10)
+        raster = np.random.RandomState(0).rand(4, 4)
+        svg = svg_density_map(die, raster, [Rect(0, 0, 2, 2)])
+        assert svg.count("<rect") == 17         # 16 bins + 1 macro
+
+    def test_dataflow_svg(self):
+        gdf = small_gdf()
+        positions = {0: Rect(0, 0, 20, 20), 1: Rect(30, 0, 20, 20)}
+        svg = svg_dataflow(gdf, positions, Rect(0, 0, 60, 30))
+        assert "<line" in svg
+        assert svg.count("<rect") >= 3
+
+
+class TestDot:
+    def test_gdf_to_dot(self):
+        dot = gdf_to_dot(small_gdf())
+        assert dot.startswith("digraph")
+        assert "n0 -> n1" in dot
+        assert '"A"' in dot and '"pin"' in dot
+
+    def test_min_affinity_filter(self):
+        dot = gdf_to_dot(small_gdf(), min_affinity=1e9)
+        assert "->" not in dot
+
+
+class TestDensity:
+    def make_cells(self, two_stage_flat):
+        from repro.core.ports import assign_port_positions
+        from repro.core.result import MacroPlacement, PlacedMacro
+        from repro.placement.stdcell import place_cells
+        die = Rect(0, 0, 60, 30)
+        placement = MacroPlacement("two_stage", "t", die)
+        placement.block_rects[""] = die
+        mem = two_stage_flat.cell_by_path("sa/mem")
+        placement.macros[mem.index] = PlacedMacro(
+            mem.index, mem.path, Rect(5, 12, 6, 4))
+        mem_b = two_stage_flat.cell_by_path("sb/mem")
+        placement.macros[mem_b.index] = PlacedMacro(
+            mem_b.index, mem_b.path, Rect(45, 12, 6, 4))
+        return place_cells(two_stage_flat, placement, {})
+
+    def test_density_conserves_area(self, two_stage_flat):
+        cells = self.make_cells(two_stage_flat)
+        raster = density_map(cells, bins=8)
+        bin_area = (60 / 8) * (30 / 8)
+        assert raster.sum() * bin_area \
+            == pytest.approx(two_stage_flat.stdcell_area())
+
+    def test_density_stats(self, two_stage_flat):
+        cells = self.make_cells(two_stage_flat)
+        stats = density_stats(density_map(cells, bins=8))
+        assert stats.peak >= stats.mean >= 0
+        assert 0 <= stats.hot_fraction <= 1
