@@ -1,0 +1,23 @@
+# Convenience targets for the RTL-aware macro-placement reproduction.
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test smoke-api bench-suite flows
+
+# Tier-1 verification: the full unit-test suite.
+test:
+	python -m pytest -x -q
+
+# Fast smoke of the unified repro.api surface (registry, pipeline,
+# parallel suite).
+smoke-api:
+	python -m pytest -q tests/test_api_registry.py \
+	    tests/test_api_pipeline.py tests/test_api_suite.py
+
+# Serial-vs-parallel suite wall-clock; writes
+# benchmarks/artifacts/BENCH_suite.json.
+bench-suite:
+	python benchmarks/bench_suite_runtime.py
+
+# List every registered placement flow.
+flows:
+	python -m repro.cli flows

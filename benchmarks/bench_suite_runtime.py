@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Suite-runtime benchmark: serial vs parallel ``run_suite``.
+
+Runs the comparison suite twice — serially and with ``--workers N`` —
+verifies the rows are identical, and writes wall-clock numbers to
+``benchmarks/artifacts/BENCH_suite.json`` so future PRs have a
+performance trajectory to compare against.
+
+Not collected by pytest (the file is not ``test_*``); run directly:
+
+    PYTHONPATH=src python benchmarks/bench_suite_runtime.py \
+        [--scale tiny] [--designs c1,c2] [--flows indeda,handfp] \
+        [--effort fast] [--workers 4] [--seed 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+from repro.api import DEFAULT_FLOWS, run_suite, split_flow_specs
+from repro.core.config import Effort
+
+
+def _rows_key(result):
+    return [(r.design, r.flow, r.wl_meters, r.grc_percent,
+             r.wns_percent, r.tns, r.wl_norm) for r in result.rows]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "bench", "full"))
+    parser.add_argument("--designs", default="c1,c2",
+                        help="comma-separated subset ('all' for every "
+                             "design)")
+    parser.add_argument("--flows", default=",".join(DEFAULT_FLOWS))
+    parser.add_argument("--effort", default="fast",
+                        choices=("fast", "normal", "high"))
+    parser.add_argument("--workers", type=int,
+                        default=min(4, os.cpu_count() or 1))
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: "
+                             "benchmarks/artifacts/BENCH_suite.json)")
+    args = parser.parse_args()
+
+    designs = (None if args.designs == "all"
+               else args.designs.split(","))
+    flows = tuple(split_flow_specs(args.flows))
+    effort = Effort(args.effort)
+
+    common = dict(scale=args.scale, designs=designs, flows=flows,
+                  seed=args.seed, effort=effort)
+
+    print(f"serial run: scale={args.scale} designs={args.designs} "
+          f"flows={','.join(flows)} effort={args.effort}")
+    t0 = time.perf_counter()
+    serial = run_suite(**common)
+    serial_seconds = time.perf_counter() - t0
+
+    print(f"parallel run: workers={args.workers}")
+    t0 = time.perf_counter()
+    parallel = run_suite(workers=args.workers, **common)
+    parallel_seconds = time.perf_counter() - t0
+
+    identical = _rows_key(serial) == _rows_key(parallel)
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+
+    record = {
+        "bench": "suite_runtime",
+        "scale": args.scale,
+        "designs": args.designs,
+        "flows": list(flows),
+        "effort": args.effort,
+        "seed": args.seed,
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(speedup, 3),
+        "rows": len(serial.rows),
+        "rows_identical": identical,
+    }
+
+    out = args.out or os.path.join(os.path.dirname(__file__),
+                                   "artifacts", "BENCH_suite.json")
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    with open(out, "w") as handle:
+        json.dump(record, handle, indent=1)
+    print(f"\nserial   {serial_seconds:7.1f}s")
+    print(f"parallel {parallel_seconds:7.1f}s  (x{speedup:.2f} with "
+          f"{args.workers} workers)")
+    print(f"rows identical: {identical}")
+    print(f"wrote {out}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,32 +6,31 @@ stand-in), HiDaP (best WL of three λ) and handFP (expert oracle), all
 measured by the same referee: standard-cell placement, bit-level HPWL,
 probabilistic-routing congestion and Gseq STA.
 
+Every flow comes out of the registry, and all three share one
+``PreparedDesign`` — the flattened netlist and Gnet/Gseq graphs are
+built once, not once per flow.
+
 Run:  python examples/compare_flows.py [circuit] [scale]
 """
 
 import sys
 
-from repro import run_flow, suite_specs
+from repro.api import get_flow, prepare_suite_design
 from repro.core.config import Effort
-from repro.eval.suite import prepare_design
 from repro.eval.tables import normalize_to_handfp
 
 
 def main() -> None:
     circuit = sys.argv[1] if len(sys.argv) > 1 else "c1"
     scale = sys.argv[2] if len(sys.argv) > 2 else "tiny"
-    spec = next(s for s in suite_specs(scale) if s.name == circuit)
-    flat, truth, die_w, die_h = prepare_design(spec)
-    print(f"{circuit} at scale {scale}: {len(flat.cells)} cells, "
-          f"{len(flat.macros())} macros "
-          f"(paper: {spec.paper_cells} cells, {spec.paper_macros} "
-          f"macros), die {die_w} x {die_h}")
+    prepared = prepare_suite_design(circuit, scale)
+    print(f"{circuit} at scale {scale}: {prepared.info()}, "
+          f"die {prepared.die_w} x {prepared.die_h}")
 
     rows = []
-    for flow in ("indeda", "hidap-best3", "handfp"):
-        metrics = run_flow(flat, truth, flow, die_w, die_h, seed=1,
-                           effort=Effort.FAST)
-        metrics.flow = metrics.flow.replace("hidap-best3", "hidap")
+    for spec in ("indeda", "hidap-best3", "handfp"):
+        flow = get_flow(spec, seed=1, effort=Effort.FAST)
+        metrics = flow.evaluate(prepared)
         rows.append(metrics)
         print(f"  finished {metrics.flow} "
               f"({metrics.placer_seconds:.1f}s placer time)")

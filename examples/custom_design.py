@@ -5,12 +5,14 @@ ModuleBuilder API and run HiDaP on it.
 The example assembles a small video-pipeline-ish SoC: a line buffer
 feeding two parallel filter banks whose results merge into an output
 stage.  It shows the API surface a downstream user needs: cell types,
-module builders, hierarchy composition, placement and inspection.
+module builders, hierarchy composition, placement and inspection —
+plus the staged-pipeline observer hooks, which report per-stage
+progress while the placer runs.
 
 Run:  python examples/custom_design.py
 """
 
-from repro import HiDaP, HiDaPConfig, Design, flatten
+from repro import HiDaP, HiDaPConfig, Design, PipelineObserver
 from repro.netlist.builder import ModuleBuilder
 from repro.netlist.cells import Direction, PinGeometry, PortDef, Side, macro_cell
 from repro.netlist.stats import design_stats
@@ -108,8 +110,14 @@ def main() -> None:
     assert_valid(design)
     print(design_stats(design).summary())
 
-    flat = flatten(design)
-    placement = HiDaP(HiDaPConfig(seed=3)).place(flat, 90.0, 70.0)
+    # Observe the staged pipeline while it runs:
+    # flatten -> graphs -> shape-curves -> floorplan -> flip -> legalize
+    class Progress(PipelineObserver):
+        def on_stage_end(self, stage, artifacts, seconds):
+            print(f"  [stage] {stage.name:12s} {seconds:6.2f}s")
+
+    placer = HiDaP(HiDaPConfig(seed=3), observers=[Progress()])
+    placement = placer.place(design, 90.0, 70.0)
     print(placement.summary())
     print(ascii_floorplan(
         placement.die,

@@ -6,41 +6,37 @@ suite circuit, prints the block-level dataflow with latency/width
 histograms, and emits a Graphviz DOT file plus the Fig. 9d-style SVG
 diagram of the top-level block floorplan.
 
+The ``PreparedDesign`` cache supplies the flattened netlist, hierarchy
+tree and graphs once; the placer reuses them through the flow registry
+instead of rebuilding its own copies.
+
 Run:  python examples/dataflow_analysis.py [circuit]
 """
 
 import sys
 
-from repro import HiDaP, HiDaPConfig, build_design, die_for, suite_specs
+from repro.api import get_flow, prepare_suite_design
 from repro.core.config import Effort
 from repro.core.dataflow import infer_affinity
 from repro.core.decluster import decluster
-from repro.hiergraph.gnet import build_gnet
-from repro.hiergraph.gseq import build_gseq
-from repro.hiergraph.hierarchy import build_hierarchy
-from repro.netlist.flatten import flatten
 from repro.viz.ascii_art import ascii_histogram
 from repro.viz.dfgraph import gdf_to_dot, svg_dataflow
 
 
 def main() -> None:
     circuit = sys.argv[1] if len(sys.argv) > 1 else "c1"
-    spec = next(s for s in suite_specs("tiny") if s.name == circuit)
-    design, _truth = build_design(spec)
+    prepared = prepare_suite_design(circuit, scale="tiny")
 
-    # The abstraction stack of Table I.
-    flat = flatten(design)
-    tree = build_hierarchy(flat)
-    gnet = build_gnet(flat)
-    gseq = build_gseq(gnet, flat)
+    # The abstraction stack of Table I, built once and cached.
+    flat, tree = prepared.flat, prepared.tree
     print(f"{circuit}: {flat}")
     print(f"  HT:   {len(tree)} hierarchy nodes")
-    print(f"  Gnet: {gnet}")
-    print(f"  Gseq: {gseq}")
+    print(f"  Gnet: {prepared.gnet}")
+    print(f"  Gseq: {prepared.gseq}")
 
     # Top-level blocks and their dataflow.
     cut = decluster(tree.root, flat, 0.01, 0.40)
-    gdf, matrix = infer_affinity(gseq, cut.blocks, [], lam=0.5,
+    gdf, matrix = infer_affinity(prepared.gseq, cut.blocks, [], lam=0.5,
                                  latency_k=1.0)
     print(f"  Gdf:  {gdf}")
 
@@ -66,9 +62,8 @@ def main() -> None:
     print(f"\nwrote {circuit}_gdf.dot (render with: dot -Tsvg)")
 
     # Fig. 9d: blocks at their placed positions with affinity arrows.
-    die_w, die_h = die_for(design)
-    placement = HiDaP(HiDaPConfig(seed=1, effort=Effort.FAST)).place(
-        flat, die_w, die_h)
+    placement = get_flow("hidap", seed=1, effort=Effort.FAST).place(
+        prepared)
     positions = {}
     for i, seed in enumerate(cut.blocks):
         rect = placement.block_rects.get(seed.hier_path() or "")

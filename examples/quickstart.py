@@ -1,10 +1,13 @@
 #!/usr/bin/env python
 """Quickstart: generate a design, place its macros, look at the result.
 
+Every flow sits behind the unified ``repro.api``: prepare a design
+once, resolve a flow from the registry, place.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import HiDaP, HiDaPConfig, build_design, die_for, suite_specs
+from repro import get_flow, prepare_suite_design
 from repro.viz.ascii_art import ascii_floorplan
 from repro.viz.svg import svg_floorplan
 
@@ -12,17 +15,18 @@ from repro.viz.svg import svg_floorplan
 def main() -> None:
     # 1. A design with RTL hierarchy and array information.  The suite
     #    generator mirrors the paper's industrial circuits; c1 is the
-    #    smallest (32 macros).
-    spec = suite_specs("tiny")[0]
-    design, _ground_truth = build_design(spec)
-    die_w, die_h = die_for(design, utilization=0.55)
-    print(f"design {design.name}: die {die_w} x {die_h}")
+    #    smallest (32 macros).  PreparedDesign caches the flattened
+    #    netlist and the Gnet/Gseq graphs for every consumer.
+    prepared = prepare_suite_design("c1", scale="tiny")
+    print(f"design {prepared.name}: die "
+          f"{prepared.die_w} x {prepared.die_h}")
 
-    # 2. Place the macros with HiDaP.  λ blends block flow (physical
-    #    nets) against macro flow (global dataflow); 0.5 is the middle
-    #    of the paper's sweep.
-    placer = HiDaP(HiDaPConfig(seed=1, lam=0.5))
-    placement = placer.place(design, die_w, die_h)
+    # 2. Resolve a flow from the registry and place.  λ blends block
+    #    flow (physical nets) against macro flow (global dataflow);
+    #    0.5 is the middle of the paper's sweep.  Try "hidap:lam=0.8"
+    #    or "indeda" — every name from `hidap flows` works.
+    placer = get_flow("hidap:lam=0.5", seed=1)
+    placement = placer.place(prepared)
     print(placement.summary())
 
     # 3. Inspect: every macro has a rectangle and an orientation.

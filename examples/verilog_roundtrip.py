@@ -4,14 +4,14 @@
 Shows the textual interchange path: a design generated (or built by
 hand) can be written as a structural Verilog subset, inspected or
 edited, parsed back with a cell library, and placed — ending at the
-same floorplan.
+same floorplan.  Placement goes through the flow registry: wrap the
+parsed design in a ``PreparedDesign`` and hand it to any flow.
 
 Run:  python examples/verilog_roundtrip.py
 """
 
-from repro import HiDaP, HiDaPConfig, build_design, die_for, suite_specs
+from repro import PreparedDesign, build_design, die_for, get_flow, suite_specs
 from repro.core.config import Effort
-from repro.netlist.flatten import flatten
 from repro.netlist.stats import design_stats
 from repro.netlist.verilog import design_to_verilog, parse_verilog
 
@@ -36,8 +36,9 @@ def main() -> None:
 
     # The same netlist places to the same macro count and die.
     die_w, die_h = die_for(parsed)
-    placement = HiDaP(HiDaPConfig(seed=1, effort=Effort.FAST)).place(
-        flatten(parsed), die_w, die_h)
+    prepared = PreparedDesign(design=parsed, die_w=die_w, die_h=die_h)
+    placement = get_flow("hidap", seed=1, effort=Effort.FAST).place(
+        prepared)
     print(placement.summary())
 
 

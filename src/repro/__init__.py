@@ -7,8 +7,27 @@ HT/Gnet/Gseq/Gdf abstraction stack, slicing-tree floorplanning with
 top-down area budgeting, a synthetic industrial-design generator, two
 baseline flows, and a shared referee (cell placement, congestion, STA).
 
+All flows sit behind the unified :mod:`repro.api`: a flow registry
+(``get_flow``/``register_flow``/``available_flows``), a staged pipeline
+with observer hooks, prepared-design caching, and a parallel suite
+runner.
+
 Quickstart
 ----------
+>>> from repro import get_flow, prepare_suite_design
+>>> prepared = prepare_suite_design("c1", scale="tiny")
+>>> placement = get_flow("hidap:lam=0.5", seed=1).place(prepared)
+>>> len(placement.macros)
+32
+
+Run a whole comparison suite in parallel and print the paper's tables:
+
+>>> from repro import format_table2, run_suite
+>>> result = run_suite(scale="tiny", workers=4)   # doctest: +SKIP
+>>> print(format_table2(result.rows))             # doctest: +SKIP
+
+Or drop to the classic object API:
+
 >>> from repro import HiDaP, HiDaPConfig, build_design, suite_specs
 >>> design, truth = build_design(suite_specs("tiny")[0])
 >>> placement = HiDaP(HiDaPConfig(seed=1)).place(design, 200.0, 200.0)
@@ -16,18 +35,31 @@ Quickstart
 32
 """
 
+from repro.api import (
+    Pipeline,
+    PipelineObserver,
+    Placer,
+    PreparedDesign,
+    RunArtifacts,
+    Stage,
+    available_flows,
+    build_hidap_pipeline,
+    get_flow,
+    prepare_suite_design,
+    register_flow,
+    run_suite,
+)
 from repro.core.config import Effort, HiDaPConfig
 from repro.core.hidap import HiDaP
 from repro.core.result import MacroPlacement, PlacedMacro
 from repro.eval.flow import FlowMetrics, run_flow
-from repro.eval.suite import run_suite
 from repro.eval.tables import format_table2, format_table3
 from repro.gen.designs import build_design, die_for, suite_specs
 from repro.geometry.rect import Point, Rect
 from repro.netlist.core import Design
 from repro.netlist.flatten import flatten
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Design",
@@ -36,15 +68,26 @@ __all__ = [
     "HiDaP",
     "HiDaPConfig",
     "MacroPlacement",
+    "Pipeline",
+    "PipelineObserver",
     "PlacedMacro",
+    "Placer",
     "Point",
+    "PreparedDesign",
     "Rect",
+    "RunArtifacts",
+    "Stage",
     "__version__",
+    "available_flows",
     "build_design",
+    "build_hidap_pipeline",
     "die_for",
     "flatten",
     "format_table2",
     "format_table3",
+    "get_flow",
+    "prepare_suite_design",
+    "register_flow",
     "run_flow",
     "run_suite",
     "suite_specs",

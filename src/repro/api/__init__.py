@@ -1,0 +1,99 @@
+"""The unified placement API: registry, pipeline, artifacts, suite.
+
+This package is the single front door for every placement run:
+
+* **flow registry** — :func:`register_flow` / :func:`get_flow` /
+  :func:`available_flows` map flow names (and parameterized specs like
+  ``hidap:lam=0.8``) to :class:`Placer` objects.  The CLI, ``run_flow``
+  and the suite runner all dispatch through it, so adding a flow is one
+  ``register_flow`` call — no repro internals to edit.
+* **staged pipeline** — :class:`Pipeline` / :class:`Stage` run the
+  placer as observable stages (``flatten -> graphs -> shape-curves ->
+  floorplan -> flip -> legalize``) over a typed :class:`RunArtifacts`
+  record.
+* **prepared designs** — :class:`PreparedDesign` caches
+  ``flat``/``gnet``/``gseq`` so they are built once per design instead
+  of once per consumer.
+* **parallel suite** — :func:`run_suite` fans (design, flow) pairs over
+  worker processes with ``workers=N``, row-for-row identical to serial.
+
+Extending with your own flow::
+
+    from repro.api import register_flow, run_suite
+
+    class MyFlow:
+        name = "myflow"
+        def place(self, prepared): ...
+        def evaluate(self, prepared, clock_period=None): ...
+
+    register_flow("myflow", MyFlow, description="my experimental flow")
+    run_suite(scale="tiny", flows=("myflow", "handfp"))
+"""
+
+from repro.api.artifacts import RunArtifacts
+from repro.api.prepared import (
+    PreparedDesign,
+    prepare_design,
+    prepare_suite_design,
+)
+from repro.api.registry import (
+    FlowError,
+    Placer,
+    UnknownFlowError,
+    available_flows,
+    flow_descriptions,
+    get_flow,
+    parse_flow_spec,
+    register_flow,
+    split_flow_specs,
+    unregister_flow,
+)
+from repro.api.pipeline import (
+    HIDAP_STAGES,
+    Pipeline,
+    PipelineObserver,
+    Stage,
+    build_hidap_pipeline,
+)
+from repro.api.suite import DEFAULT_FLOWS, SuiteResult, run_suite
+from repro.api.flows import (  # noqa: E402  (must follow suite: registers builtins)
+    BaseFlow,
+    HandFPFlow,
+    HandFPStripFlow,
+    HiDaPBest3Flow,
+    HiDaPFlow,
+    IndEDAFlow,
+    register_builtin_flows,
+)
+
+__all__ = [
+    "BaseFlow",
+    "DEFAULT_FLOWS",
+    "FlowError",
+    "HIDAP_STAGES",
+    "HandFPFlow",
+    "HandFPStripFlow",
+    "HiDaPBest3Flow",
+    "HiDaPFlow",
+    "IndEDAFlow",
+    "Pipeline",
+    "PipelineObserver",
+    "Placer",
+    "PreparedDesign",
+    "RunArtifacts",
+    "Stage",
+    "SuiteResult",
+    "UnknownFlowError",
+    "available_flows",
+    "build_hidap_pipeline",
+    "flow_descriptions",
+    "get_flow",
+    "parse_flow_spec",
+    "prepare_design",
+    "prepare_suite_design",
+    "register_builtin_flows",
+    "register_flow",
+    "run_suite",
+    "split_flow_specs",
+    "unregister_flow",
+]

@@ -1,0 +1,259 @@
+"""Built-in flows behind the registry.
+
+Each class wraps one of the repo's placement flows in the
+:class:`~repro.api.registry.Placer` protocol: ``place`` produces a
+:class:`~repro.core.result.MacroPlacement`, ``evaluate`` additionally
+runs the shared referee.  All of them pull ``flat``/``gnet``/``gseq``
+from the :class:`~repro.api.prepared.PreparedDesign` cache instead of
+rebuilding them.
+
+Registered names: ``hidap``, ``hidap-best3``, ``indeda``, ``handfp``,
+``handfp-strip``.  Parameterized variants are spelled as flow specs,
+e.g. ``hidap:lam=0.8`` or ``hidap:lam=0.2,latency_k=2``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.api.prepared import PreparedDesign
+from repro.api.registry import FlowError, register_flow
+from repro.core.config import Effort, HiDaPConfig
+from repro.core.hidap import HiDaP
+from repro.core.result import MacroPlacement
+from repro.eval.flow import HIDAP_LAMBDAS, FlowMetrics, evaluate_placement
+from repro.timing.sta import default_clock_period
+
+
+def _coerce_effort(effort) -> Effort:
+    return effort if isinstance(effort, Effort) else Effort(effort)
+
+
+def _baseline_gseq(prepared: PreparedDesign):
+    """The cached gseq, if built with the baselines' default threshold.
+
+    Baselines always used ``build_gseq``'s default ``min_bits``; a
+    cache of different or unknown provenance makes them rebuild their
+    own, preserving pre-registry behaviour.
+    """
+    from repro.api.prepared import DEFAULT_MIN_BITS
+    return (prepared.gseq if prepared.min_bits == DEFAULT_MIN_BITS
+            else None)
+
+
+class BaseFlow:
+    """Shared plumbing: referee invocation over cached artifacts."""
+
+    name = "base"
+
+    def __init__(self, seed: int = 1, effort=Effort.NORMAL):
+        self.seed = int(seed)
+        self.effort = _coerce_effort(effort)
+
+    def place(self, prepared: PreparedDesign) -> MacroPlacement:
+        raise NotImplementedError
+
+    def evaluate(self, prepared: PreparedDesign,
+                 clock_period: Optional[float] = None) -> FlowMetrics:
+        if clock_period is None:
+            clock_period = default_clock_period(prepared.die_w,
+                                                prepared.die_h)
+        placement = self.place(prepared)
+        return evaluate_placement(prepared.flat, placement,
+                                  prepared.gseq, clock_period)
+
+
+class HiDaPFlow(BaseFlow):
+    """The paper's placer at a single λ (``hidap``, ``hidap:lam=...``)."""
+
+    name = "hidap"
+    #: Label stamped on placements/metrics (the paper reports the
+    #: best-of-three protocol simply as "hidap").
+    flow_label = "hidap"
+
+    def __init__(self, seed: int = 1, effort=Effort.NORMAL,
+                 lam: float = 0.5, **config_kwargs):
+        super().__init__(seed, effort)
+        self.config = HiDaPConfig(seed=self.seed, lam=lam,
+                                  effort=self.effort, **config_kwargs)
+
+    def _run_hidap(self, prepared: PreparedDesign,
+                   config: HiDaPConfig) -> MacroPlacement:
+        placer = HiDaP(config)
+        # The cached gseq is only reusable when it was built with this
+        # config's min_bits; gnet is threshold-independent and always
+        # shareable.
+        gseq = (prepared.gseq if config.min_bits == prepared.min_bits
+                else None)
+        return placer.place(prepared.flat, prepared.die_w,
+                            prepared.die_h, flow_name=self.flow_label,
+                            gnet=prepared.gnet, gseq=gseq,
+                            tree=prepared.tree)
+
+    def place(self, prepared: PreparedDesign) -> MacroPlacement:
+        return self._run_hidap(prepared, self.config)
+
+    def evaluate(self, prepared: PreparedDesign,
+                 clock_period: Optional[float] = None) -> FlowMetrics:
+        metrics = super().evaluate(prepared, clock_period)
+        metrics.lam = self.config.lam
+        return metrics
+
+
+class HiDaPBest3Flow(HiDaPFlow):
+    """The paper's protocol: best referee WL over λ ∈ {0.2, 0.5, 0.8}."""
+
+    name = "hidap-best3"
+
+    def __init__(self, seed: int = 1, effort=Effort.NORMAL,
+                 lambdas: Tuple[float, ...] = HIDAP_LAMBDAS,
+                 lam: Optional[float] = None, **config_kwargs):
+        # ``lam=<λ>`` (the spec syntax shared with plain hidap)
+        # restricts the sweep to a single λ.
+        if lam is not None:
+            lambdas = (float(lam),)
+        if isinstance(lambdas, (int, float)):
+            lambdas = (float(lambdas),)
+        self.lambdas = tuple(lambdas)
+        super().__init__(seed, effort, lam=self.lambdas[0],
+                         **config_kwargs)
+
+    def _sweep(self, prepared: PreparedDesign, clock_period: float
+               ) -> Tuple[FlowMetrics, MacroPlacement]:
+        best: Optional[Tuple[FlowMetrics, MacroPlacement]] = None
+        for lam in self.lambdas:
+            # Carry every configured knob (min_bits, flipping, ...)
+            # into the sweep; only λ varies.
+            config = dataclasses.replace(self.config, lam=lam)
+            placement = self._run_hidap(prepared, config)
+            metrics = evaluate_placement(prepared.flat, placement,
+                                         prepared.gseq, clock_period)
+            metrics.lam = lam
+            if best is None or metrics.wl_meters < best[0].wl_meters:
+                best = (metrics, placement)
+        return best
+
+    def place(self, prepared: PreparedDesign) -> MacroPlacement:
+        clock = default_clock_period(prepared.die_w, prepared.die_h)
+        return self._sweep(prepared, clock)[1]
+
+    def evaluate(self, prepared: PreparedDesign,
+                 clock_period: Optional[float] = None) -> FlowMetrics:
+        if clock_period is None:
+            clock_period = default_clock_period(prepared.die_w,
+                                                prepared.die_h)
+        return self._sweep(prepared, clock_period)[0]
+
+
+class IndEDAFlow(BaseFlow):
+    """The commercial-floorplanner stand-in."""
+
+    name = "indeda"
+
+    def __init__(self, seed: int = 1, effort=Effort.NORMAL,
+                 refinement_passes: int = 5):
+        super().__init__(seed, effort)
+        self.refinement_passes = int(refinement_passes)
+
+    def place(self, prepared: PreparedDesign) -> MacroPlacement:
+        from repro.baselines.indeda import place_indeda
+        return place_indeda(prepared.flat, prepared.die_w,
+                            prepared.die_h,
+                            refinement_passes=self.refinement_passes,
+                            gnet=prepared.gnet,
+                            gseq=_baseline_gseq(prepared))
+
+
+class HandFPStripFlow(BaseFlow):
+    """The expert strip floorplan alone (``handfp-strip``)."""
+
+    name = "handfp-strip"
+
+    def __init__(self, seed: int = 1, effort=Effort.NORMAL,
+                 refinement_passes: int = 8):
+        super().__init__(seed, effort)
+        self.refinement_passes = int(refinement_passes)
+
+    def place(self, prepared: PreparedDesign) -> MacroPlacement:
+        from repro.baselines.handfp import place_handfp
+        if prepared.truth is None:
+            raise FlowError(
+                "handfp requires ground truth (a generated design)")
+        return place_handfp(prepared.flat, prepared.truth,
+                            prepared.die_w, prepared.die_h,
+                            refinement_passes=self.refinement_passes,
+                            gnet=prepared.gnet,
+                            gseq=_baseline_gseq(prepared),
+                            tree=prepared.tree)
+
+
+class HandFPFlow(HandFPStripFlow):
+    """The full expert oracle (``handfp``).
+
+    The experts iterated for weeks with every tool available: besides
+    the strip floorplan, the oracle keeps independent high-effort tool
+    runs if the referee scores them better.  Seeds differ from the
+    hidap flow's, so handFP is a genuinely independent contender.
+    """
+
+    name = "handfp"
+
+    def evaluate(self, prepared: PreparedDesign,
+                 clock_period: Optional[float] = None) -> FlowMetrics:
+        if clock_period is None:
+            clock_period = default_clock_period(prepared.die_w,
+                                                prepared.die_h)
+        best = super().evaluate(prepared, clock_period)
+        expert_effort = (Effort.HIGH if self.effort is Effort.NORMAL
+                         else Effort.NORMAL)
+        total_time = best.placer_seconds
+        for expert_seed, lam in ((self.seed + 101, 0.5),
+                                 (self.seed + 202, 0.2)):
+            config = HiDaPConfig(seed=expert_seed, lam=lam,
+                                 effort=expert_effort)
+            gseq = (prepared.gseq
+                    if config.min_bits == prepared.min_bits else None)
+            candidate = HiDaP(config).place(
+                prepared.flat, prepared.die_w, prepared.die_h,
+                flow_name="handfp", gnet=prepared.gnet, gseq=gseq,
+                tree=prepared.tree)
+            metrics = evaluate_placement(prepared.flat, candidate,
+                                         prepared.gseq, clock_period)
+            total_time += metrics.placer_seconds
+            if metrics.wl_meters < best.wl_meters:
+                best = metrics
+        best.flow = "handfp"
+        best.placer_seconds = total_time
+        return best
+
+
+#: Names claimed by :func:`register_builtin_flows`; registry entries
+#: beyond these are third-party and must be replayed into suite
+#: worker processes (see :mod:`repro.api.suite`).
+BUILTIN_FLOW_NAMES = ("hidap", "hidap-best3", "indeda", "handfp",
+                      "handfp-strip")
+
+
+def register_builtin_flows() -> None:
+    """Idempotently (re)register the repo's own flows."""
+    for cls, description in (
+            (HiDaPFlow,
+             "the paper's placer at one λ (params: lam, seed, effort, "
+             "any HiDaPConfig field)"),
+            (HiDaPBest3Flow,
+             "best referee WL over λ ∈ {0.2, 0.5, 0.8} (the paper's "
+             "reporting protocol)"),
+            (IndEDAFlow,
+             "commercial-floorplanner stand-in: flat connectivity, "
+             "perimeter packing"),
+            (HandFPFlow,
+             "expert-oracle stand-in: ground-truth strips plus "
+             "high-effort tool contenders"),
+            (HandFPStripFlow,
+             "the expert strip floorplan alone, no tool contenders")):
+        register_flow(cls.name, cls, description=description,
+                      overwrite=True)
+
+
+register_builtin_flows()

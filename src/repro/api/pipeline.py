@@ -1,0 +1,180 @@
+"""The staged placement pipeline.
+
+A :class:`Pipeline` is an ordered list of :class:`Stage` objects, each
+a named function over a shared :class:`RunArtifacts` record.  Observers
+receive ``on_stage_start`` / ``on_stage_end`` callbacks, which is how
+progress reporting, tracing and per-stage profiling attach to a run
+without the placer knowing about them.
+
+:func:`build_hidap_pipeline` assembles the paper's Algorithm 1 as six
+stages::
+
+    flatten -> graphs -> shape-curves -> floorplan -> flip -> legalize
+
+Stages skip work whose product is already present on the artifacts
+(e.g. a cached ``flat``/``gnet``/``gseq`` injected from a
+:class:`~repro.api.prepared.PreparedDesign`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.api.artifacts import RunArtifacts
+from repro.core.flipping import flip_macros
+from repro.core.legalize import legalize_macros
+from repro.core.ports import assign_port_positions
+from repro.core.recursive import RecursiveFloorplanner
+from repro.hiergraph.gnet import build_gnet
+from repro.hiergraph.gseq import build_gseq
+from repro.hiergraph.hierarchy import build_hierarchy
+from repro.netlist.flatten import flatten
+from repro.shapecurve.curve import ShapeCurve
+from repro.shapecurve.generation import generate_shape_curves
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named step of a pipeline; ``run`` mutates the artifacts."""
+
+    name: str
+    run: Callable[[RunArtifacts], None]
+
+    def __repr__(self) -> str:
+        return f"Stage({self.name!r})"
+
+
+class PipelineObserver:
+    """Hook base class; subclass and override what you need."""
+
+    def on_stage_start(self, stage: Stage,
+                       artifacts: RunArtifacts) -> None:
+        """Called before a stage runs."""
+
+    def on_stage_end(self, stage: Stage, artifacts: RunArtifacts,
+                     seconds: float) -> None:
+        """Called after a stage completed, with its wall-clock time."""
+
+
+class Pipeline:
+    """An ordered, observable sequence of stages."""
+
+    def __init__(self, stages: Sequence[Stage],
+                 observers: Sequence[PipelineObserver] = ()):
+        self.stages: Tuple[Stage, ...] = tuple(stages)
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names in {names}")
+        self.observers: List[PipelineObserver] = list(observers)
+
+    def stage_names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.stages)
+
+    def add_observer(self, observer: PipelineObserver) -> "Pipeline":
+        self.observers.append(observer)
+        return self
+
+    def run(self, artifacts: RunArtifacts) -> RunArtifacts:
+        """Run every stage in order over ``artifacts``."""
+        for stage in self.stages:
+            for observer in self.observers:
+                observer.on_stage_start(stage, artifacts)
+            start = time.perf_counter()
+            stage.run(artifacts)
+            seconds = time.perf_counter() - start
+            artifacts.stage_seconds[stage.name] = seconds
+            for observer in self.observers:
+                observer.on_stage_end(stage, artifacts, seconds)
+        return artifacts
+
+
+# -- HiDaP stage implementations ------------------------------------------
+
+
+def _stage_flatten(artifacts: RunArtifacts) -> None:
+    if artifacts.flat is None:
+        if artifacts.design is None:
+            raise ValueError("artifacts carry neither a design nor a "
+                             "flattened design")
+        artifacts.flat = flatten(artifacts.design)
+
+
+def _stage_graphs(artifacts: RunArtifacts) -> None:
+    flat = artifacts.flat
+    if artifacts.tree is None:
+        artifacts.tree = build_hierarchy(flat)
+    if artifacts.gnet is None:
+        artifacts.gnet = build_gnet(flat)
+    if artifacts.gseq is None:
+        artifacts.gseq = build_gseq(artifacts.gnet, flat,
+                                    min_bits=artifacts.config.min_bits)
+
+
+def _stage_shape_curves(artifacts: RunArtifacts) -> None:
+    flat = artifacts.flat
+    config = artifacts.config
+
+    def own_macro_curves(node):
+        return [ShapeCurve.for_rect(flat.cells[m].ctype.width,
+                                    flat.cells[m].ctype.height)
+                for m in node.own_macros]
+
+    by_node = generate_shape_curves(
+        artifacts.tree.root,
+        children_of=lambda n: n.children,
+        own_macro_curves_of=own_macro_curves,
+        config=config.shapegen_config())
+    artifacts.curves = {node.path: curve
+                        for node, curve in by_node.items()}
+
+
+def _stage_floorplan(artifacts: RunArtifacts) -> None:
+    artifacts.port_positions = assign_port_positions(
+        artifacts.flat.design, artifacts.die)
+    floorplanner = RecursiveFloorplanner(
+        flat=artifacts.flat, gnet=artifacts.gnet, gseq=artifacts.gseq,
+        tree=artifacts.tree, curves=artifacts.curves,
+        config=artifacts.config,
+        port_positions=artifacts.port_positions)
+    artifacts.placement = floorplanner.run(artifacts.die,
+                                           flow_name=artifacts.flow_name)
+
+
+def _stage_flip(artifacts: RunArtifacts) -> None:
+    if artifacts.config.flipping:
+        artifacts.flipped_macros = flip_macros(
+            artifacts.flat, artifacts.require_placement(),
+            artifacts.port_positions)
+
+
+def _stage_legalize(artifacts: RunArtifacts) -> None:
+    # Safety net: only moves macros that overlap or protrude from the
+    # die (budgeting keeps blocks disjoint, but rare layouts violate
+    # this).  config.legalize=False reproduces the raw placement.
+    if artifacts.config.legalize:
+        artifacts.legalizer_moves = legalize_macros(
+            artifacts.require_placement())
+
+
+#: The canonical stage order of the HiDaP flow.
+HIDAP_STAGES: Tuple[str, ...] = ("flatten", "graphs", "shape-curves",
+                                 "floorplan", "flip", "legalize")
+
+
+def build_hidap_pipeline(observers: Sequence[PipelineObserver] = ()
+                         ) -> Pipeline:
+    """Algorithm 1 as a staged pipeline.
+
+    Stages read their configuration from the
+    :class:`~repro.api.artifacts.RunArtifacts` record they run over.
+    """
+    return Pipeline([
+        Stage("flatten", _stage_flatten),
+        Stage("graphs", _stage_graphs),
+        Stage("shape-curves", _stage_shape_curves),
+        Stage("floorplan", _stage_floorplan),
+        Stage("flip", _stage_flip),
+        Stage("legalize", _stage_legalize),
+    ], observers=observers)

@@ -1,0 +1,131 @@
+"""Prepared designs: build once, share across every consumer.
+
+The seed code rebuilt ``flatten`` / ``build_gnet`` / ``build_gseq`` in
+each flow and again in the referee.  A :class:`PreparedDesign` carries
+the design, its optional ground truth and die, and materialises the
+derived structures lazily, exactly once; flows and the referee all pull
+from the same cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.gen.designs import build_design, die_for, suite_specs
+from repro.gen.spec import DesignSpec, GroundTruth
+from repro.hiergraph.gnet import Gnet, build_gnet
+from repro.hiergraph.gseq import Gseq, build_gseq
+from repro.hiergraph.hierarchy import HierTree, build_hierarchy
+from repro.netlist.core import Design
+from repro.netlist.flatten import FlatDesign, flatten
+
+#: ``build_gseq`` width threshold used for the shared cache; flows whose
+#: configuration matches reuse the cached graph, others rebuild.
+DEFAULT_MIN_BITS = 2
+
+
+@dataclass
+class PreparedDesign:
+    """A design plus lazily cached derived structures.
+
+    ``flat``, ``gnet``, ``gseq`` and ``tree`` are built on first access
+    and cached, so ``flatten``/``build_gnet``/``build_gseq`` run once
+    per design instead of once per consumer (flow, referee, figure).
+    """
+
+    design: Design
+    die_w: float
+    die_h: float
+    truth: Optional[GroundTruth] = None
+    spec: Optional[DesignSpec] = None
+    #: ``build_gseq`` width threshold the cached ``gseq`` was (or will
+    #: be) built with.  ``None`` means a caller supplied a ``gseq`` of
+    #: unknown provenance: the referee may use it, but placement flows
+    #: must rebuild their own rather than treat it as the default
+    #: cache.
+    min_bits: Optional[int] = DEFAULT_MIN_BITS
+    _flat: Optional[FlatDesign] = field(default=None, repr=False)
+    _gnet: Optional[Gnet] = field(default=None, repr=False)
+    _gseq: Optional[Gseq] = field(default=None, repr=False)
+    _tree: Optional[HierTree] = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.design.name
+
+    @property
+    def die(self) -> Tuple[float, float]:
+        return (self.die_w, self.die_h)
+
+    @property
+    def flat(self) -> FlatDesign:
+        if self._flat is None:
+            self._flat = flatten(self.design)
+        return self._flat
+
+    @property
+    def gnet(self) -> Gnet:
+        if self._gnet is None:
+            self._gnet = build_gnet(self.flat)
+        return self._gnet
+
+    @property
+    def gseq(self) -> Gseq:
+        if self._gseq is None:
+            self._gseq = build_gseq(
+                self.gnet, self.flat,
+                min_bits=(DEFAULT_MIN_BITS if self.min_bits is None
+                          else self.min_bits))
+        return self._gseq
+
+    @property
+    def tree(self) -> HierTree:
+        if self._tree is None:
+            self._tree = build_hierarchy(self.flat)
+        return self._tree
+
+    def info(self) -> str:
+        """The suite table's design summary line."""
+        text = f"{len(self.flat.cells)} cells, {len(self.flat.macros())} macros"
+        if self.spec is not None:
+            text += (f" (paper: {self.spec.paper_cells} cells, "
+                     f"{self.spec.paper_macros} macros)")
+        return text
+
+    @classmethod
+    def from_flat(cls, flat: FlatDesign, die_w: float, die_h: float,
+                  truth: Optional[GroundTruth] = None,
+                  gseq: Optional[Gseq] = None,
+                  min_bits: Optional[int] = None) -> "PreparedDesign":
+        """Wrap an already-flattened design (legacy entry points).
+
+        A supplied ``gseq`` is used by the referee; unless ``min_bits``
+        states what it was built with, placement flows treat its
+        provenance as unknown and rebuild their own graphs, matching
+        the pre-registry behaviour of ``run_flow``.
+        """
+        if gseq is None and min_bits is None:
+            min_bits = DEFAULT_MIN_BITS
+        prepared = cls(design=flat.design, die_w=die_w, die_h=die_h,
+                       truth=truth, min_bits=min_bits)
+        prepared._flat = flat
+        prepared._gseq = gseq
+        return prepared
+
+
+def prepare_design(spec: DesignSpec) -> PreparedDesign:
+    """Build one suite design, size its die, wrap it for caching."""
+    design, truth = build_design(spec)
+    die_w, die_h = die_for(design, utilization=spec.utilization)
+    return PreparedDesign(design=design, die_w=die_w, die_h=die_h,
+                          truth=truth, spec=spec)
+
+
+def prepare_suite_design(name: str, scale: str = "bench") -> PreparedDesign:
+    """Prepare a suite design by name (``c1`` .. ``c8``)."""
+    for spec in suite_specs(scale):
+        if spec.name == name:
+            return prepare_design(spec)
+    known = ", ".join(s.name for s in suite_specs(scale))
+    raise ValueError(f"unknown suite design {name!r} (known: {known})")

@@ -1,0 +1,177 @@
+"""Suite runner: the c1..c8 comparison behind Tables II and III.
+
+``run_suite`` fans every (design, flow) pair over a process pool when
+``workers`` > 1; each worker process prepares a design once (cached)
+and every flow on that design shares the prepared artifacts.  Rows are
+returned in deterministic serial order — design order of
+``suite_specs``, then flow order — so a parallel run is row-for-row
+identical to a serial one.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
+
+from repro.api.prepared import (
+    PreparedDesign,
+    prepare_design,
+    prepare_suite_design,
+)
+from repro.api.registry import get_flow, parse_flow_spec
+from repro.core.config import Effort
+from repro.gen.designs import suite_specs
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an eval<->api cycle
+    from repro.eval.flow import FlowMetrics
+
+DEFAULT_FLOWS = ("indeda", "hidap-best3", "handfp")
+
+
+@dataclass
+class SuiteResult:
+    """All rows plus bookkeeping for table formatting."""
+
+    rows: List["FlowMetrics"] = field(default_factory=list)
+    design_info: Dict[str, str] = field(default_factory=dict)
+    total_seconds: float = 0.0
+
+    def rows_for(self, design: str) -> List["FlowMetrics"]:
+        return [r for r in self.rows if r.design == design]
+
+
+#: Per-process prepared-design cache (populated inside pool workers so
+#: every flow scheduled on the same worker reuses flat/gnet/gseq).
+_PREPARED_CACHE: Dict[Tuple[str, str], PreparedDesign] = {}
+
+
+def _portable_flow_entries():
+    """Registry entries beyond the builtins, for shipping to workers.
+
+    Under spawn/forkserver start methods a worker re-imports
+    ``repro.api`` and only sees the builtin flows; third-party
+    registrations must be replayed.  Entries whose factories cannot be
+    pickled (lambdas, closures) are skipped — they still work under
+    fork, where workers inherit the registry.
+    """
+    import pickle
+
+    from repro.api.flows import BUILTIN_FLOW_NAMES
+    from repro.api.registry import _REGISTRY
+
+    entries = []
+    for name, entry in _REGISTRY.items():
+        # Skip entries the worker's own `import repro.api` recreates:
+        # a builtin name still bound to a builtin factory.  A builtin
+        # class registered under a custom name (or a builtin name
+        # overwritten with a custom factory) must be replayed.
+        is_builtin = (
+            name in BUILTIN_FLOW_NAMES
+            and getattr(entry.factory, "__module__", None)
+            == "repro.api.flows")
+        if is_builtin:
+            continue
+        item = (name, entry.factory, entry.description)
+        try:
+            pickle.dumps(item)
+        except Exception:
+            continue
+        entries.append(item)
+    return entries
+
+
+def _init_suite_worker(entries) -> None:
+    """Pool initializer: replay third-party flow registrations."""
+    from repro.api.registry import register_flow
+
+    for name, factory, description in entries:
+        register_flow(name, factory, description=description,
+                      overwrite=True)
+
+
+def _prepared_for(scale: str, name: str) -> PreparedDesign:
+    key = (scale, name)
+    prepared = _PREPARED_CACHE.get(key)
+    if prepared is None:
+        prepared = prepare_suite_design(name, scale)
+        _PREPARED_CACHE[key] = prepared
+    return prepared
+
+
+def _run_one(prepared: PreparedDesign, flow: str, seed: int,
+             effort: Effort) -> "FlowMetrics":
+    metrics = get_flow(flow, seed=seed, effort=effort).evaluate(prepared)
+    # The paper reports every builtin hidap variant simply as "hidap".
+    # Match the parsed registry name, not a spec prefix, so that
+    # third-party flows named e.g. "hidap-mine" keep their own label.
+    name, _params = parse_flow_spec(flow)
+    if name in ("hidap", "hidap-best3"):
+        metrics.flow = "hidap"
+    return metrics
+
+
+def _suite_task(scale: str, design_name: str, flow: str, seed: int,
+                effort_value: str
+                ) -> Tuple[str, str, "FlowMetrics", str]:
+    """One (design, flow) cell, executed inside a pool worker."""
+    prepared = _prepared_for(scale, design_name)
+    metrics = _run_one(prepared, flow, seed, Effort(effort_value))
+    return design_name, flow, metrics, prepared.info()
+
+
+def run_suite(scale: str = "bench",
+              flows: Sequence[str] = DEFAULT_FLOWS,
+              designs: Optional[Sequence[str]] = None,
+              seed: int = 1,
+              effort: Effort = Effort.NORMAL,
+              verbose: bool = False,
+              workers: Optional[int] = None) -> SuiteResult:
+    """Run every flow on every (selected) suite design.
+
+    ``workers=None`` (or 1) runs serially in-process; ``workers=N``
+    fans the (design, flow) pairs over ``N`` worker processes.  Both
+    modes produce identical rows in identical order.
+    """
+    from repro.eval.tables import normalize_to_handfp
+
+    start = time.perf_counter()
+    result = SuiteResult()
+    specs = [spec for spec in suite_specs(scale)
+             if designs is None or spec.name in designs]
+    flows = tuple(flows)
+    tasks = [(spec.name, flow) for spec in specs for flow in flows]
+
+    if workers is not None and workers > 1 and len(tasks) > 1:
+        done: Dict[Tuple[str, str], Tuple["FlowMetrics", str]] = {}
+        with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_suite_worker,
+                initargs=(_portable_flow_entries(),)) as pool:
+            futures = {
+                pool.submit(_suite_task, scale, name, flow, seed,
+                            effort.value): (name, flow)
+                for name, flow in tasks}
+            for future in as_completed(futures):
+                design_name, flow, metrics, info = future.result()
+                done[(design_name, flow)] = (metrics, info)
+                if verbose:
+                    print(metrics.row(), flush=True)
+        for name, flow in tasks:                   # serial row order
+            metrics, info = done[(name, flow)]
+            result.design_info.setdefault(name, info)
+            result.rows.append(metrics)
+    else:
+        for spec in specs:
+            prepared = prepare_design(spec)
+            result.design_info[spec.name] = prepared.info()
+            for flow in flows:
+                metrics = _run_one(prepared, flow, seed, effort)
+                result.rows.append(metrics)
+                if verbose:
+                    print(metrics.row(), flush=True)
+
+    normalize_to_handfp(result.rows)
+    result.total_seconds = time.perf_counter() - start
+    return result

@@ -80,14 +80,23 @@ def _strip_rects(die: Rect, shares: List[float],
 
 
 def place_handfp(design, truth: GroundTruth, die_w: float, die_h: float,
-                 refinement_passes: int = 8) -> MacroPlacement:
-    """Run the expert-oracle flow; returns a legal strip placement."""
+                 refinement_passes: int = 8,
+                 gnet=None, gseq=None, tree=None) -> MacroPlacement:
+    """Run the expert-oracle flow; returns a legal strip placement.
+
+    ``gnet``/``gseq``/``tree`` accept pre-built structures (e.g. from
+    a :class:`repro.api.prepared.PreparedDesign`) to avoid rebuilding
+    them; they must belong to the same flattened design.
+    """
     start = time.perf_counter()
     flat = design if isinstance(design, FlatDesign) else flatten(design)
     die = Rect(0.0, 0.0, float(die_w), float(die_h))
-    gnet = build_gnet(flat)
-    gseq = build_gseq(gnet, flat)
-    tree = build_hierarchy(flat)
+    if gnet is None:
+        gnet = build_gnet(flat)
+    if gseq is None:
+        gseq = build_gseq(gnet, flat)
+    if tree is None:
+        tree = build_hierarchy(flat)
     port_positions = assign_port_positions(flat.design, die)
 
     macro_cells, matrix, port_names = macro_affinity_matrix(

@@ -61,15 +61,23 @@ def _connectivity_chain(n: int, matrix, port_pulls) -> List[int]:
 
 
 def place_indeda(design, die_w: float, die_h: float,
-                 refinement_passes: int = 5) -> MacroPlacement:
-    """Run the IndEDA-like flow; returns a legal wall placement."""
+                 refinement_passes: int = 5,
+                 gnet=None, gseq=None) -> MacroPlacement:
+    """Run the IndEDA-like flow; returns a legal wall placement.
+
+    ``gnet``/``gseq`` accept pre-built graphs (e.g. from a
+    :class:`repro.api.prepared.PreparedDesign`) to avoid rebuilding
+    them; they must belong to the same flattened design.
+    """
     from repro.baselines.common import order_cost
 
     start = time.perf_counter()
     flat = design if isinstance(design, FlatDesign) else flatten(design)
     die = Rect(0.0, 0.0, float(die_w), float(die_h))
-    gnet = build_gnet(flat)
-    gseq = build_gseq(gnet, flat)
+    if gnet is None:
+        gnet = build_gnet(flat)
+    if gseq is None:
+        gseq = build_gseq(gnet, flat)
     port_positions = assign_port_positions(flat.design, die)
 
     macro_cells, matrix, port_names = macro_affinity_matrix(

@@ -5,7 +5,13 @@ Subcommands
 ``gen``    generate a suite design to JSON (and optionally Verilog);
 ``place``  place a design's macros with a chosen flow, emit JSON/SVG;
 ``suite``  run the paper's three-flow comparison and print the tables;
+``flows``  list every registered flow (the registry drives dispatch);
 ``info``   print design statistics and graph sizes.
+
+Flow dispatch goes through :mod:`repro.api`: any name printed by
+``hidap flows`` — including parameterized specs such as
+``hidap:lam=0.8`` and flows registered by third-party code — is valid
+wherever a flow is expected.
 """
 
 from __future__ import annotations
@@ -14,15 +20,19 @@ import argparse
 import json
 import sys
 
-from repro.core.config import Effort, HiDaPConfig
-from repro.core.hidap import HiDaP
-from repro.baselines.handfp import place_handfp
-from repro.baselines.indeda import place_indeda
-from repro.eval.suite import run_suite
+from repro.api import (
+    FlowError,
+    PreparedDesign,
+    UnknownFlowError,
+    available_flows,
+    flow_descriptions,
+    get_flow,
+    run_suite,
+    split_flow_specs,
+)
+from repro.core.config import Effort
 from repro.eval.tables import format_table2, format_table3
 from repro.gen.designs import build_design, die_for, suite_specs
-from repro.hiergraph.gnet import build_gnet
-from repro.hiergraph.gseq import build_gseq
 from repro.netlist.flatten import flatten
 from repro.netlist.jsonio import load_design, save_design
 from repro.netlist.stats import design_stats
@@ -35,6 +45,12 @@ def _spec_by_name(name: str, scale: str):
         if spec.name == name:
             return spec
     raise SystemExit(f"unknown suite design {name!r}")
+
+
+def _fail(message: str) -> int:
+    """Report a user error without a bare SystemExit traceback."""
+    print(f"hidap: error: {message}", file=sys.stderr)
+    return 2
 
 
 def cmd_gen(args: argparse.Namespace) -> int:
@@ -58,19 +74,20 @@ def cmd_place(args: argparse.Namespace) -> int:
         design, truth = build_design(spec)
     die_w, die_h = die_for(design) if args.die is None else args.die
 
-    if args.flow == "hidap":
-        config = HiDaPConfig(seed=args.seed, lam=args.lam,
-                             effort=Effort(args.effort))
-        placement = HiDaP(config).place(design, die_w, die_h)
-    elif args.flow == "indeda":
-        placement = place_indeda(design, die_w, die_h)
-    elif args.flow == "handfp":
-        if truth is None:
-            raise SystemExit("handfp needs a generated design "
-                             "(ground truth)")
-        placement = place_handfp(design, truth, die_w, die_h)
-    else:
-        raise SystemExit(f"unknown flow {args.flow!r}")
+    defaults = {"seed": args.seed, "effort": Effort(args.effort)}
+    if args.lam is not None:
+        # Offered to the flow factory; silently dropped for flows
+        # whose signature has no lam (e.g. indeda).
+        defaults["lam"] = args.lam
+    try:
+        placer = get_flow(args.flow, **defaults)
+        prepared = PreparedDesign(design=design, die_w=die_w,
+                                  die_h=die_h, truth=truth)
+        placement = placer.place(prepared)
+    except UnknownFlowError as exc:
+        return _fail(f"{exc} (see `hidap flows`)")
+    except FlowError as exc:
+        return _fail(str(exc))
 
     print(placement.summary())
     out = {
@@ -98,16 +115,32 @@ def cmd_place(args: argparse.Namespace) -> int:
 
 def cmd_suite(args: argparse.Namespace) -> int:
     designs = args.designs.split(",") if args.designs else None
-    flows = tuple(args.flows.split(",")) if args.flows else None
-    kwargs = {} if flows is None else {"flows": flows}
-    result = run_suite(scale=args.scale, designs=designs,
-                       seed=args.seed, effort=Effort(args.effort),
-                       verbose=True, **kwargs)
+    kwargs = {}
+    try:
+        if args.flows:
+            kwargs["flows"] = tuple(split_flow_specs(args.flows))
+        result = run_suite(scale=args.scale, designs=designs,
+                           seed=args.seed, effort=Effort(args.effort),
+                           verbose=True, workers=args.workers,
+                           **kwargs)
+    except FlowError as exc:
+        return _fail(f"{exc} (see `hidap flows`)")
     print()
     print(format_table3(result.rows, result.design_info))
     print()
     print(format_table2(result.rows))
     print(f"\nsuite wall-clock: {result.total_seconds:.1f}s")
+    return 0
+
+
+def cmd_flows(args: argparse.Namespace) -> int:
+    del args
+    print("registered flows:")
+    for name, description in flow_descriptions():
+        print(f"  {name:14s} {description}")
+    print("\nparameterized specs: <name>:key=value,...  "
+          "e.g. hidap:lam=0.8")
+    print("register your own with repro.api.register_flow(...)")
     return 0
 
 
@@ -119,12 +152,10 @@ def cmd_info(args: argparse.Namespace) -> int:
                                                     args.scale))
     stats = design_stats(design)
     print(stats.summary())
-    flat = flatten(design)
-    gnet = build_gnet(flat)
-    gseq = build_gseq(gnet, flat)
-    print(f"flat: {flat}")
-    print(f"gnet: {gnet}")
-    print(f"gseq: {gseq}")
+    prepared = PreparedDesign(design=design, die_w=0.0, die_h=0.0)
+    print(f"flat: {prepared.flat}")
+    print(f"gnet: {prepared.gnet}")
+    print(f"gseq: {prepared.gseq}")
     print(f"die (55% util): {die_for(design)}")
     return 0
 
@@ -147,10 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("place", help="place macros")
     p.add_argument("design", help="suite name or design .json")
     p.add_argument("--flow", default="hidap",
-                   choices=("hidap", "indeda", "handfp"))
+                   help="flow name or spec (see `hidap flows`); "
+                        f"registered: {', '.join(available_flows())}")
     p.add_argument("--scale", default="bench",
                    choices=("tiny", "bench", "full"))
-    p.add_argument("--lam", type=float, default=0.5)
+    p.add_argument("--lam", type=float, default=None,
+                   help="λ for hidap flows (default 0.5; "
+                        "hidap-best3 sweeps {0.2,0.5,0.8} unless set)")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--effort", default="normal",
                    choices=("fast", "normal", "high"))
@@ -167,11 +201,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated subset, e.g. c1,c3")
     p.add_argument("--flows", default=None,
                    help="comma-separated flows "
-                        "(default: indeda,hidap-best3,handfp)")
+                        "(default: indeda,hidap-best3,handfp; "
+                        "see `hidap flows`)")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--effort", default="fast",
                    choices=("fast", "normal", "high"))
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan (design, flow) pairs over N processes")
     p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("flows", help="list registered flows")
+    p.set_defaults(func=cmd_flows)
 
     p = sub.add_parser("info", help="print design statistics")
     p.add_argument("design", help="suite name or design .json")

@@ -58,6 +58,12 @@ class HiDaPConfig:
     curve_inflation: float = 1.08
     #: Run the macro-flipping orientation post-pass.
     flipping: bool = True
+    #: Run the legalization safety net after flipping.  Budgeting keeps
+    #: block rectangles disjoint, but rare layouts (e.g. c3 at tiny
+    #: scale) still produce overlapping or protruding macros; the
+    #: legalizer repairs them.  Disable to reproduce pre-1.1 raw
+    #: placements.
+    legalize: bool = True
     #: Record per-level traces (needed by the Fig. 1 reproduction).
     keep_trace: bool = False
     #: Affinity source: "dataflow" (the paper's contribution) or

@@ -1,30 +1,29 @@
 """The HiDaP top flow (paper Algorithm 1).
 
-``HiDaP.place`` runs the full pipeline: hierarchy tree, shape curves,
-recursive block floorplanning and macro flipping, returning a
-:class:`MacroPlacement`.  Intermediate artifacts (graphs, curves) are
-kept on the instance after a run for inspection, visualization and the
-didactic figure reproductions.
+``HiDaP.place`` runs the staged pipeline from :mod:`repro.api.pipeline`
+(``flatten -> graphs -> shape-curves -> floorplan -> flip ->
+legalize``) and returns a :class:`MacroPlacement`.  Intermediate
+products live in a typed :class:`repro.api.artifacts.RunArtifacts`
+record kept as ``self.artifacts``; the historical instance attributes
+(``flat``, ``tree``, ``gnet``, ``gseq``, ``curves``,
+``port_positions``) are preserved as read-only views over it.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, TYPE_CHECKING, Union
 
 from repro.core.config import HiDaPConfig
-from repro.core.flipping import flip_macros
-from repro.core.ports import assign_port_positions
-from repro.core.recursive import RecursiveFloorplanner
 from repro.core.result import MacroPlacement
 from repro.geometry.rect import Point, Rect
-from repro.hiergraph.gnet import build_gnet
-from repro.hiergraph.gseq import build_gseq
-from repro.hiergraph.hierarchy import build_hierarchy
 from repro.netlist.core import Design
-from repro.netlist.flatten import FlatDesign, flatten
+from repro.netlist.flatten import FlatDesign
 from repro.shapecurve.curve import ShapeCurve
-from repro.shapecurve.generation import generate_shape_curves
+
+if TYPE_CHECKING:  # pragma: no cover - lazy to avoid core<->api cycle
+    from repro.api.artifacts import RunArtifacts
+    from repro.api.pipeline import PipelineObserver
 
 
 class HiDaP:
@@ -34,66 +33,77 @@ class HiDaP:
     -------
     >>> placer = HiDaP(HiDaPConfig(lam=0.5, seed=1))
     >>> placement = placer.place(design, die_width, die_height)
+
+    Observers (see :class:`repro.api.pipeline.PipelineObserver`) may be
+    passed to receive per-stage start/end callbacks.
     """
 
-    def __init__(self, config: Optional[HiDaPConfig] = None):
+    def __init__(self, config: Optional[HiDaPConfig] = None,
+                 observers: Sequence["PipelineObserver"] = ()):
         self.config = config or HiDaPConfig()
-        # Artifacts of the last run (for tools/figures/tests):
-        self.flat: Optional[FlatDesign] = None
-        self.tree = None
-        self.gnet = None
-        self.gseq = None
-        self.curves: Optional[Dict[str, ShapeCurve]] = None
-        self.port_positions: Optional[Dict[str, Point]] = None
+        self.observers = tuple(observers)
+        #: Artifacts of the last run (for tools/figures/tests).
+        self.artifacts: Optional["RunArtifacts"] = None
 
-    # -- pipeline pieces -----------------------------------------------------
+    # -- last-run artifact views (legacy attribute surface) -----------------
 
-    def _build_graphs(self, flat: FlatDesign) -> None:
-        self.flat = flat
-        self.tree = build_hierarchy(flat)
-        self.gnet = build_gnet(flat)
-        self.gseq = build_gseq(self.gnet, flat,
-                               min_bits=self.config.min_bits)
+    @property
+    def flat(self) -> Optional[FlatDesign]:
+        return self.artifacts.flat if self.artifacts else None
 
-    def _shape_curves(self) -> Dict[str, ShapeCurve]:
-        """S_Γ: one curve per hierarchy node, bottom-up (Sect. IV-A)."""
-        flat = self.flat
-        shape_config = self.config.shapegen_config()
+    @property
+    def tree(self):
+        return self.artifacts.tree if self.artifacts else None
 
-        def own_macro_curves(node):
-            return [ShapeCurve.for_rect(flat.cells[m].ctype.width,
-                                        flat.cells[m].ctype.height)
-                    for m in node.own_macros]
+    @property
+    def gnet(self):
+        return self.artifacts.gnet if self.artifacts else None
 
-        by_node = generate_shape_curves(
-            self.tree.root,
-            children_of=lambda n: n.children,
-            own_macro_curves_of=own_macro_curves,
-            config=shape_config)
-        return {node.path: curve for node, curve in by_node.items()}
+    @property
+    def gseq(self):
+        return self.artifacts.gseq if self.artifacts else None
 
-    # -- public API ------------------------------------------------------------
+    @property
+    def curves(self) -> Optional[Dict[str, ShapeCurve]]:
+        return self.artifacts.curves if self.artifacts else None
+
+    @property
+    def port_positions(self) -> Optional[Dict[str, Point]]:
+        return self.artifacts.port_positions if self.artifacts else None
+
+    # -- public API ----------------------------------------------------------
 
     def place(self, design: Union[Design, FlatDesign], die_width: float,
-              die_height: float, flow_name: str = "hidap"
-              ) -> MacroPlacement:
-        """Place all macros of ``design`` on a die of the given size."""
+              die_height: float, flow_name: str = "hidap",
+              gnet=None, gseq=None, tree=None) -> MacroPlacement:
+        """Place all macros of ``design`` on a die of the given size.
+
+        ``gnet``/``gseq``/``tree`` may be passed to reuse pre-built
+        structures (e.g. from a
+        :class:`repro.api.prepared.PreparedDesign` cache); the graphs
+        stage then skips reconstruction.  Callers are responsible for
+        passing a ``gseq`` built with the configured ``min_bits``.
+        """
+        from repro.api.artifacts import RunArtifacts
+        from repro.api.pipeline import build_hidap_pipeline
+
         start = time.perf_counter()
-        flat = design if isinstance(design, FlatDesign) else flatten(design)
         die = Rect(0.0, 0.0, float(die_width), float(die_height))
+        artifacts = RunArtifacts(die=die, config=self.config,
+                                 flow_name=flow_name, gnet=gnet,
+                                 gseq=gseq, tree=tree)
+        if isinstance(design, FlatDesign):
+            artifacts.flat = design
+            artifacts.design = design.design
+        else:
+            artifacts.design = design
 
-        self._build_graphs(flat)
-        self.curves = self._shape_curves()
-        self.port_positions = assign_port_positions(flat.design, die)
+        pipeline = build_hidap_pipeline(observers=self.observers)
+        # Expose the record before running so partially filled
+        # artifacts stay inspectable if a stage raises.
+        self.artifacts = artifacts
+        pipeline.run(artifacts)
 
-        floorplanner = RecursiveFloorplanner(
-            flat=flat, gnet=self.gnet, gseq=self.gseq, tree=self.tree,
-            curves=self.curves, config=self.config,
-            port_positions=self.port_positions)
-        placement = floorplanner.run(die, flow_name=flow_name)
-
-        if self.config.flipping:
-            flip_macros(flat, placement, self.port_positions)
-
+        placement = artifacts.require_placement()
         placement.runtime_seconds = time.perf_counter() - start
         return placement

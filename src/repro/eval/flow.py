@@ -5,10 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.baselines.handfp import place_handfp
-from repro.baselines.indeda import place_indeda
-from repro.core.config import Effort, HiDaPConfig
-from repro.core.hidap import HiDaP
+from repro.core.config import Effort
 from repro.core.ports import assign_port_positions
 from repro.core.result import MacroPlacement
 from repro.gen.spec import GroundTruth
@@ -18,7 +15,7 @@ from repro.netlist.flatten import FlatDesign
 from repro.placement.hpwl import hpwl_report
 from repro.placement.stdcell import PlacerConfig, place_cells
 from repro.routing.congestion import estimate_congestion
-from repro.timing.sta import analyze_timing, default_clock_period
+from repro.timing.sta import analyze_timing
 
 #: The λ values the paper sweeps for HiDaP ("best WL of three").
 HIDAP_LAMBDAS = (0.2, 0.5, 0.8)
@@ -81,61 +78,17 @@ def run_flow(flat: FlatDesign, truth: Optional[GroundTruth],
              gseq=None) -> FlowMetrics:
     """Place with ``flow`` and evaluate with the shared referee.
 
-    ``flow`` is one of ``indeda``, ``handfp``, ``hidap`` (λ=0.5),
-    ``hidap-l<λ>`` (single λ), or ``hidap-best3`` (the paper's
-    best-WL-of-three protocol).
+    A thin shim over the flow registry (:mod:`repro.api.registry`):
+    ``flow`` is any registered name or parameterized spec —
+    ``indeda``, ``handfp``, ``hidap`` (λ=0.5), ``hidap:lam=<λ>``,
+    ``hidap-best3`` (the paper's best-WL-of-three protocol), a flow
+    you registered yourself... — with the legacy ``hidap-l<λ>``
+    spelling still accepted.
     """
-    if clock_period is None:
-        clock_period = default_clock_period(die_w, die_h)
+    from repro.api import get_flow
+    from repro.api.prepared import PreparedDesign
 
-    if flow == "indeda":
-        placement = place_indeda(flat, die_w, die_h)
-        return evaluate_placement(flat, placement, gseq, clock_period)
-    if flow in ("handfp", "handfp-strip"):
-        if truth is None:
-            raise ValueError("handfp requires ground truth")
-        placement = place_handfp(flat, truth, die_w, die_h)
-        strip_metrics = evaluate_placement(flat, placement, gseq,
-                                           clock_period)
-        if flow == "handfp-strip":
-            return strip_metrics
-        # The experts iterated for weeks with every tool available: the
-        # oracle may also keep independent high-effort tool runs if the
-        # referee scores them better.  Seeds differ from the hidap
-        # flow's, so handFP is a genuinely independent contender.
-        expert_effort = (Effort.HIGH if effort is Effort.NORMAL
-                         else Effort.NORMAL)
-        best = strip_metrics
-        total_time = strip_metrics.placer_seconds
-        for expert_seed, lam in ((seed + 101, 0.5), (seed + 202, 0.2)):
-            config = HiDaPConfig(seed=expert_seed, lam=lam,
-                                 effort=expert_effort)
-            candidate = HiDaP(config).place(flat, die_w, die_h,
-                                            flow_name="handfp")
-            metrics = evaluate_placement(flat, candidate, gseq,
-                                         clock_period)
-            total_time += metrics.placer_seconds
-            if metrics.wl_meters < best.wl_meters:
-                best = metrics
-        best.flow = "handfp"
-        best.placer_seconds = total_time
-        return best
-    if flow.startswith("hidap"):
-        if flow == "hidap-best3":
-            lambdas = HIDAP_LAMBDAS
-        elif flow.startswith("hidap-l"):
-            lambdas = (float(flow[len("hidap-l"):]),)
-        else:
-            lambdas = (0.5,)
-        best: Optional[FlowMetrics] = None
-        for lam in lambdas:
-            config = HiDaPConfig(seed=seed, lam=lam, effort=effort)
-            placement = HiDaP(config).place(flat, die_w, die_h,
-                                            flow_name="hidap")
-            metrics = evaluate_placement(flat, placement, gseq,
-                                         clock_period)
-            metrics.lam = lam
-            if best is None or metrics.wl_meters < best.wl_meters:
-                best = metrics
-        return best
-    raise ValueError(f"unknown flow {flow!r}")
+    prepared = PreparedDesign.from_flat(flat, die_w=die_w, die_h=die_h,
+                                        truth=truth, gseq=gseq)
+    placer = get_flow(flow, seed=seed, effort=effort)
+    return placer.evaluate(prepared, clock_period=clock_period)

@@ -1,73 +1,30 @@
-"""Suite runner: the c1..c8 comparison behind Tables II and III."""
+"""Suite runner: the c1..c8 comparison behind Tables II and III.
+
+The implementation moved to :mod:`repro.api.suite`, which adds
+parallel execution (``run_suite(workers=N)``) and prepared-design
+caching; this module re-exports it so existing imports keep working.
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Tuple
 
-from repro.core.config import Effort
-from repro.eval.flow import FlowMetrics, run_flow
-from repro.eval.tables import normalize_to_handfp
-from repro.gen.designs import build_design, die_for, suite_specs
+from repro.api.prepared import prepare_design as _prepare_design
+from repro.api.suite import DEFAULT_FLOWS, SuiteResult, run_suite
 from repro.gen.spec import DesignSpec, GroundTruth
-from repro.hiergraph.gnet import build_gnet
-from repro.hiergraph.gseq import build_gseq
-from repro.netlist.flatten import FlatDesign, flatten
+from repro.netlist.flatten import FlatDesign
 
-DEFAULT_FLOWS = ("indeda", "hidap-best3", "handfp")
-
-
-@dataclass
-class SuiteResult:
-    """All rows plus bookkeeping for table formatting."""
-
-    rows: List[FlowMetrics] = field(default_factory=list)
-    design_info: Dict[str, str] = field(default_factory=dict)
-    total_seconds: float = 0.0
-
-    def rows_for(self, design: str) -> List[FlowMetrics]:
-        return [r for r in self.rows if r.design == design]
+__all__ = ["DEFAULT_FLOWS", "SuiteResult", "prepare_design",
+           "run_suite"]
 
 
 def prepare_design(spec: DesignSpec) -> Tuple[FlatDesign, GroundTruth,
                                               float, float]:
-    """Build + flatten one suite design and size its die."""
-    design, truth = build_design(spec)
-    die_w, die_h = die_for(design, utilization=spec.utilization)
-    return flatten(design), truth, die_w, die_h
+    """Build + flatten one suite design and size its die.
 
-
-def run_suite(scale: str = "bench",
-              flows: Sequence[str] = DEFAULT_FLOWS,
-              designs: Optional[Sequence[str]] = None,
-              seed: int = 1,
-              effort: Effort = Effort.NORMAL,
-              verbose: bool = False) -> SuiteResult:
-    """Run every flow on every (selected) suite design.
-
-    The flow label ``hidap-best3`` is reported as ``hidap`` in the rows,
-    matching the paper's presentation.
+    Legacy tuple interface; prefer
+    :func:`repro.api.prepared.prepare_design`, which returns a caching
+    :class:`~repro.api.prepared.PreparedDesign`.
     """
-    start = time.perf_counter()
-    result = SuiteResult()
-    for spec in suite_specs(scale):
-        if designs is not None and spec.name not in designs:
-            continue
-        flat, truth, die_w, die_h = prepare_design(spec)
-        gseq = build_gseq(build_gnet(flat), flat)
-        result.design_info[spec.name] = (
-            f"{len(flat.cells)} cells, {len(flat.macros())} macros "
-            f"(paper: {spec.paper_cells} cells, {spec.paper_macros} "
-            f"macros)")
-        for flow in flows:
-            metrics = run_flow(flat, truth, flow, die_w, die_h,
-                               seed=seed, effort=effort, gseq=gseq)
-            if flow.startswith("hidap"):
-                metrics.flow = "hidap"
-            result.rows.append(metrics)
-            if verbose:
-                print(metrics.row())
-    normalize_to_handfp(result.rows)
-    result.total_seconds = time.perf_counter() - start
-    return result
+    prepared = _prepare_design(spec)
+    return prepared.flat, prepared.truth, prepared.die_w, prepared.die_h
