@@ -1,11 +1,18 @@
 # Convenience targets for the RTL-aware macro-placement reproduction.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke-api bench-suite flows
+.PHONY: test smoke-api bench-suite bench-anneal check flows
 
 # Tier-1 verification: the full unit-test suite.
 test:
 	python -m pytest -x -q
+
+# One verification entry point for builders: tier-1 tests (tests/ only,
+# the benchmark reproductions are excluded for speed) plus the API
+# smoke.
+check:
+	python -m pytest -x -q tests
+	$(MAKE) smoke-api
 
 # Fast smoke of the unified repro.api surface (registry, pipeline,
 # parallel suite).
@@ -17,6 +24,11 @@ smoke-api:
 # benchmarks/artifacts/BENCH_suite.json.
 bench-suite:
 	python benchmarks/bench_suite_runtime.py
+
+# Incremental-vs-full annealing cost evaluation; verifies bit-identical
+# placements and writes benchmarks/artifacts/BENCH_anneal.json.
+bench-anneal:
+	python benchmarks/bench_anneal.py
 
 # List every registered placement flow.
 flows:

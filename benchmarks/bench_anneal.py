@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Annealing-engine benchmark: incremental vs full cost evaluation.
+
+Places each requested suite design twice with the HiDaP flow — once
+with ``HiDaPConfig.incremental=True`` (cached subtree shape curves,
+memoized compositions, reused budgeted sub-layouts, transposition
+table) and once with full re-evaluation — then verifies the placements
+are bit-identical and writes wall-clock and cache-hit statistics to
+``benchmarks/artifacts/BENCH_anneal.json`` so future PRs have a
+performance trajectory to compare against.
+
+Not collected by pytest (the file is not ``test_*``); run directly:
+
+    PYTHONPATH=src python benchmarks/bench_anneal.py \
+        [--scale tiny] [--designs c1,c2] [--effort fast] [--seed 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+from repro.core.config import Effort, HiDaPConfig
+from repro.core.hidap import HiDaP
+from repro.gen.designs import build_design, die_for, suite_specs
+from repro.netlist.flatten import flatten
+
+
+def _placement_key(placement):
+    return sorted(
+        (idx, (m.rect.x, m.rect.y, m.rect.w, m.rect.h), m.orientation)
+        for idx, m in placement.macros.items())
+
+
+def _place(flat, die_w, die_h, seed, effort, incremental):
+    config = HiDaPConfig(seed=seed, effort=effort,
+                         incremental=incremental)
+    placer = HiDaP(config)
+    start = time.perf_counter()
+    placement = placer.place(flat, die_w, die_h)
+    seconds = time.perf_counter() - start
+    return (_placement_key(placement), seconds,
+            dict(placer.artifacts.eval_counters))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "bench", "full"))
+    parser.add_argument("--designs", default="c1,c2",
+                        help="comma-separated subset ('all' for every "
+                             "design)")
+    parser.add_argument("--effort", default="fast",
+                        choices=("fast", "normal", "high"))
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: "
+                             "benchmarks/artifacts/BENCH_anneal.json)")
+    args = parser.parse_args()
+
+    effort = Effort(args.effort)
+    specs = {spec.name: spec for spec in suite_specs(args.scale)}
+    names = (sorted(specs) if args.designs == "all"
+             else args.designs.split(","))
+
+    per_design = []
+    all_identical = True
+    total_inc = total_full = 0.0
+    total_expanded = total_nodes = 0
+    for name in names:
+        design, _truth = build_design(specs[name])
+        die_w, die_h = die_for(design)
+        flat = flatten(design)
+
+        inc_key, inc_s, inc_counters = _place(
+            flat, die_w, die_h, args.seed, effort, incremental=True)
+        full_key, full_s, full_counters = _place(
+            flat, die_w, die_h, args.seed, effort, incremental=False)
+
+        identical = inc_key == full_key
+        all_identical = all_identical and identical
+        total_inc += inc_s
+        total_full += full_s
+        expanded = inc_counters.get("layout_nodes_expanded", 0)
+        nodes = inc_counters.get("layout_nodes_total", 0)
+        total_expanded += expanded
+        total_nodes += nodes
+        ratio = nodes / expanded if expanded else 0.0
+        per_design.append({
+            "design": name,
+            "incremental_seconds": round(inc_s, 3),
+            "full_seconds": round(full_s, 3),
+            "speedup": round(full_s / inc_s, 3) if inc_s else 0.0,
+            "identical": identical,
+            "expansion_ratio": round(ratio, 2),
+            "counters": inc_counters,
+            "full_counters": full_counters,
+        })
+        print(f"{name}: incremental {inc_s:6.2f}s  full {full_s:6.2f}s "
+              f"(x{full_s / inc_s:.2f})  expansions {expanded}/{nodes} "
+              f"(x{ratio:.1f} fewer)  identical={identical}")
+
+    overall_ratio = (total_nodes / total_expanded
+                     if total_expanded else 0.0)
+    record = {
+        "bench": "anneal_incremental",
+        "scale": args.scale,
+        "designs": names,
+        "effort": args.effort,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "incremental_seconds": round(total_inc, 3),
+        "full_seconds": round(total_full, 3),
+        "speedup": round(total_full / total_inc, 3) if total_inc else 0.0,
+        "layout_nodes_expanded": total_expanded,
+        "layout_nodes_total": total_nodes,
+        "expansion_ratio": round(overall_ratio, 2),
+        "results_identical": all_identical,
+        "per_design": per_design,
+    }
+
+    out = args.out or os.path.join(os.path.dirname(__file__),
+                                   "artifacts", "BENCH_anneal.json")
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    with open(out, "w") as handle:
+        json.dump(record, handle, indent=1)
+    print(f"\nincremental {total_inc:7.2f}s")
+    print(f"full        {total_full:7.2f}s  (x{record['speedup']:.2f} "
+          "wall-clock win)")
+    print(f"layout expansions: {total_expanded} of {total_nodes} "
+          f"(x{overall_ratio:.1f} fewer than full evaluation)")
+    print(f"results identical: {all_identical}")
+    print(f"wrote {out}")
+    return 0 if all_identical and overall_ratio >= 3.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

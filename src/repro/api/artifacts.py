@@ -55,6 +55,14 @@ class RunArtifacts:
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     flipped_macros: int = 0
     legalizer_moves: int = 0
+    #: Evaluation-work counters of the two annealing stages
+    #: (shape-curves and floorplan), accumulated as plain ints:
+    #: ``cost_evals``, ``cost_cache_hits``, ``layout_nodes_total``,
+    #: ``layout_nodes_expanded``, ``subtree_hits``/``subtree_misses``,
+    #: ``curve_compose_hits``/``curve_compose_misses``.  Observers read
+    #: them in ``on_stage_end`` to report incremental-evaluation reuse
+    #: (see :class:`repro.slicing.tree.EvalStats`).
+    eval_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:

@@ -33,6 +33,7 @@ from repro.hiergraph.hierarchy import build_hierarchy
 from repro.netlist.flatten import flatten
 from repro.shapecurve.curve import ShapeCurve
 from repro.shapecurve.generation import generate_shape_curves
+from repro.slicing.tree import EvalStats
 
 
 @dataclass(frozen=True)
@@ -112,6 +113,12 @@ def _stage_graphs(artifacts: RunArtifacts) -> None:
                                     min_bits=artifacts.config.min_bits)
 
 
+def _merge_eval_counters(artifacts: RunArtifacts, stats) -> None:
+    for name, value in stats.as_dict().items():
+        artifacts.eval_counters[name] = (
+            artifacts.eval_counters.get(name, 0) + value)
+
+
 def _stage_shape_curves(artifacts: RunArtifacts) -> None:
     flat = artifacts.flat
     config = artifacts.config
@@ -121,13 +128,16 @@ def _stage_shape_curves(artifacts: RunArtifacts) -> None:
                                     flat.cells[m].ctype.height)
                 for m in node.own_macros]
 
+    stats = EvalStats()
     by_node = generate_shape_curves(
         artifacts.tree.root,
         children_of=lambda n: n.children,
         own_macro_curves_of=own_macro_curves,
-        config=config.shapegen_config())
+        config=config.shapegen_config(),
+        stats=stats)
     artifacts.curves = {node.path: curve
                         for node, curve in by_node.items()}
+    _merge_eval_counters(artifacts, stats)
 
 
 def _stage_floorplan(artifacts: RunArtifacts) -> None:
@@ -140,6 +150,7 @@ def _stage_floorplan(artifacts: RunArtifacts) -> None:
         port_positions=artifacts.port_positions)
     artifacts.placement = floorplanner.run(artifacts.die,
                                            flow_name=artifacts.flow_name)
+    _merge_eval_counters(artifacts, floorplanner.stats)
 
 
 def _stage_flip(artifacts: RunArtifacts) -> None:

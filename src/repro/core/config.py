@@ -56,6 +56,11 @@ class HiDaPConfig:
     #: Extra whitespace factor applied to macro shape curves, leaving
     #: routing/keepout room around macro layouts.
     curve_inflation: float = 1.08
+    #: Incremental cost evaluation in both annealing problems (cached
+    #: subtree shape curves, memoized compositions, reused budgeted
+    #: sub-layouts).  Bit-identical to full re-evaluation under a fixed
+    #: seed; disable only to cross-check that claim.
+    incremental: bool = True
     #: Run the macro-flipping orientation post-pass.
     flipping: bool = True
     #: Run the legalization safety net after flipping.  Budgeting keeps
@@ -97,7 +102,7 @@ class HiDaPConfig:
             moves_per_temperature=28,
             restarts=2 if self.effort is not Effort.FAST else 1)
         return LayoutConfig(seed=anneal.seed, weights=self.weights,
-                            anneal=anneal)
+                            anneal=anneal, incremental=self.incremental)
 
     def shapegen_config(self) -> ShapeGenConfig:
         """Shape-curve generation configuration (S_Γ, Sect. IV-A)."""
@@ -108,4 +113,5 @@ class HiDaPConfig:
             min_moves=int(160 * mult),
             max_moves=int(2600 * mult),
             moves_per_temperature=24)
-        return ShapeGenConfig(seed=anneal.seed, anneal=anneal)
+        return ShapeGenConfig(seed=anneal.seed, anneal=anneal,
+                              incremental=self.incremental)

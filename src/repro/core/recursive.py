@@ -26,6 +26,7 @@ from repro.hiergraph.gseq import Gseq
 from repro.hiergraph.hierarchy import HierNode, HierTree
 from repro.netlist.flatten import FlatDesign
 from repro.shapecurve.curve import ShapeCurve
+from repro.slicing.tree import EvalStats
 
 #: Fixed-context groups passed into one level are capped (nearest by
 #: position are kept) so the per-level dataflow searches stay cheap even
@@ -48,6 +49,9 @@ class RecursiveFloorplanner:
         self.config = config
         self.port_positions = port_positions
         self.placement: Optional[MacroPlacement] = None
+        #: Evaluation-work counters accumulated over every level's
+        #: layout search (see :class:`repro.slicing.tree.EvalStats`).
+        self.stats = EvalStats()
         self._level_seed = 0
 
     # -- public -------------------------------------------------------------
@@ -159,6 +163,8 @@ class RecursiveFloorplanner:
         self._level_seed += 1
         layout = generate_layout(problem,
                                  config.layout_config(self._level_seed))
+        if layout.stats is not None:
+            self.stats.merge(layout.stats)
 
         for i, seed in enumerate(seeds):
             if not seed.is_macro_seed:

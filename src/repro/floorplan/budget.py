@@ -8,14 +8,24 @@ cannot hold its subtree's macros (checked against the composed shape
 curve Γ), area is moved from the sibling, and the move is penalized by
 the kind of area the sibling yielded — target slack (cheapest), minimum
 area, or macro area (infeasible, most severe).
+
+The expansion of one subtree depends only on the subtree's structure
+(curve/area annotations, which the signature determines) and the
+rectangle it receives, so sub-layouts are memoizable: a
+:class:`LayoutCache` keyed by ``(signature, rect)`` lets the annealing
+engine reuse the budgeted layout of every subtree a perturbation did
+not touch.  Violation accounting is kept as per-node contribution
+sequences and folded left-to-right in depth-first order at the end, so
+cached and full evaluation produce bit-identical deficits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.floorplan.blocks import Block
+from repro.memo import DEFAULT_MAX_ENTRIES, BoundedStore
 from repro.geometry.rect import Rect
 from repro.slicing.polish import H
 from repro.slicing.tree import SlicingNode
@@ -40,6 +50,60 @@ class BudgetReport:
         return self.macro_deficit <= 1e-9 and self.min_deficit <= 1e-9
 
 
+@dataclass(frozen=True)
+class SubLayout:
+    """The budgeted expansion of one subtree inside one rectangle.
+
+    ``rects`` lists ``(block, rect)`` pairs and the ``*_contribs``
+    tuples list per-node deficit contributions, both in depth-first
+    (parent, left, right) order — the exact order the historical
+    recursive accumulator produced them in, which is what keeps cached
+    folds bit-identical to full evaluation.  ``nodes`` counts the
+    slicing-tree nodes in the subtree (for cache-saving accounting).
+    """
+
+    rects: Tuple[Tuple[int, Rect], ...]
+    target_contribs: Tuple[float, ...]
+    min_contribs: Tuple[float, ...]
+    macro_contribs: Tuple[float, ...]
+    repairs: int
+    nodes: int
+
+
+class LayoutCache:
+    """Memoized :class:`SubLayout` records keyed by (signature, rect).
+
+    Valid for one evaluation context (fixed blocks and annotation
+    limit).  ``nodes_expanded`` counts subtree nodes actually computed;
+    ``nodes_saved`` counts the nodes inside cache-hit subtrees that a
+    full evaluator would have expanded.  Requires signatures on the
+    tree (:func:`repro.slicing.tree.compute_signatures`).  Bounded by
+    a :class:`repro.memo.BoundedStore`.
+    """
+
+    __slots__ = ("hits", "misses", "nodes_expanded", "nodes_saved",
+                 "_store")
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        self._store = BoundedStore(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.nodes_expanded = 0
+        self.nodes_saved = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def get(self, key: tuple) -> Optional[SubLayout]:
+        return self._store.get(key)
+
+    def put(self, key: tuple, sub: SubLayout) -> None:
+        self._store.put(key, sub)
+
+
 def _min_side(node: SlicingNode, across: float, horizontal_split: bool
               ) -> float:
     """Minimum width (or height) the subtree needs given the other side.
@@ -59,100 +123,154 @@ def _min_side(node: SlicingNode, across: float, horizontal_split: bool
     return float("inf") if needed is None else needed
 
 
-def _record_area_violation(report: BudgetReport, node: SlicingNode,
-                           got_area: float) -> None:
-    """Classify a shrunken subtree's area against its a_t / a_m."""
+def _area_violation(node: SlicingNode, got_area: float
+                    ) -> Tuple[float, float]:
+    """Classify a shrunken subtree's area against its a_t / a_m.
+
+    Returns ``(target_contrib, min_contrib)``.
+    """
     if got_area >= node.area_target - 1e-9:
-        return
+        return 0.0, 0.0
     if got_area >= node.area_min - 1e-9:
         if node.area_target > 0:
-            report.target_deficit += (
-                (node.area_target - got_area) / node.area_target)
-        return
+            return ((node.area_target - got_area) / node.area_target, 0.0)
+        return 0.0, 0.0
+    target = 0.0
+    minimum = 0.0
     if node.area_target > 0:
-        report.target_deficit += (
-            (node.area_target - node.area_min) / node.area_target)
+        target = (node.area_target - node.area_min) / node.area_target
     if node.area_min > 0:
-        report.min_deficit += (node.area_min - got_area) / node.area_min
+        minimum = (node.area_min - got_area) / node.area_min
+    return target, minimum
 
 
-def _assign(node: SlicingNode, rect: Rect, blocks: List[Block],
-            report: BudgetReport) -> None:
+def _leaf_layout(node: SlicingNode, rect: Rect,
+                 blocks: List[Block]) -> SubLayout:
+    block = blocks[node.block]
+    macro = ()
+    if not block.curve.feasible(rect.w, rect.h):
+        # Relative shortfall of the best curve point vs the rect.
+        best = 1e18
+        for pw, ph in block.curve.points:
+            shortfall = (max(0.0, pw - rect.w) * max(1.0, ph)
+                         + max(0.0, ph - rect.h) * max(1.0, pw))
+            ref = max(pw * ph, 1e-12)
+            best = min(best, shortfall / ref)
+        if block.curve.is_trivial:
+            best = 0.0
+        macro = (min(best, 4.0),)
+    target, minimum = _area_violation(node, rect.area)
+    return SubLayout(
+        rects=((node.block, rect),),
+        target_contribs=(target,) if target else (),
+        min_contribs=(minimum,) if minimum else (),
+        macro_contribs=macro,
+        repairs=0, nodes=1)
+
+
+def _expand(node: SlicingNode, rect: Rect, blocks: List[Block],
+            cache: Optional[LayoutCache]) -> SubLayout:
+    """Expand one subtree into its rectangle, memoized when cached."""
+    if cache is not None:
+        key = (node.signature, rect.x, rect.y, rect.w, rect.h)
+        cached = cache.get(key)
+        if cached is not None:
+            cache.hits += 1
+            cache.nodes_saved += cached.nodes
+            return cached
+        cache.misses += 1
+
     if node.is_leaf:
-        report.leaf_rects[node.block] = rect
-        block = blocks[node.block]
-        if not block.curve.feasible(rect.w, rect.h):
-            # Relative shortfall of the best curve point vs the rect.
-            best = 1e18
-            for pw, ph in block.curve.points:
-                shortfall = (max(0.0, pw - rect.w) * max(1.0, ph)
-                             + max(0.0, ph - rect.h) * max(1.0, pw))
-                ref = max(pw * ph, 1e-12)
-                best = min(best, shortfall / ref)
-            if block.curve.is_trivial:
-                best = 0.0
-            report.macro_deficit += min(best, 4.0)
-        _record_area_violation(report, node, rect.area)
-        return
-
-    horizontal_split = node.op != H       # V cut -> children side by side
-    total_target = max(node.left.area_target + node.right.area_target,
-                       1e-12)
-    if horizontal_split:
-        span, across = rect.w, rect.h
+        sub = _leaf_layout(node, rect, blocks)
     else:
-        span, across = rect.h, rect.w
+        horizontal_split = node.op != H   # V cut -> children side by side
+        total_target = max(node.left.area_target + node.right.area_target,
+                           1e-12)
+        if horizontal_split:
+            span, across = rect.w, rect.h
+        else:
+            span, across = rect.h, rect.w
 
-    left_share = span * node.left.area_target / total_target
-    left_min = _min_side(node.left, across, horizontal_split)
-    right_min = _min_side(node.right, across, horizontal_split)
+        left_share = span * node.left.area_target / total_target
+        left_min = _min_side(node.left, across, horizontal_split)
+        right_min = _min_side(node.right, across, horizontal_split)
 
-    if left_min + right_min > span + 1e-9:
-        # Even yielding all sibling area cannot fit both macro sets:
-        # split proportionally to the minimum needs and charge the
-        # relative overflow as a macro violation.  A subtree that fits
-        # at no width reports an infinite need; cap it at the span so
-        # the proportional split stays finite.
-        overflow = (left_min + right_min - span) / max(span, 1e-12)
-        report.macro_deficit += min(overflow, 4.0)
-        report.repairs += 1
-        lm = min(left_min, span)
-        rm = min(right_min, span)
-        denom = max(lm + rm, 1e-12)
-        left_share = span * (lm / denom)
-    else:
-        lo = left_min
-        hi = span - right_min
-        clamped = min(max(left_share, lo), hi)
-        if abs(clamped - left_share) > 1e-12:
-            report.repairs += 1
-        left_share = clamped
+        own_macro: Tuple[float, ...] = ()
+        repairs = 0
+        if left_min + right_min > span + 1e-9:
+            # Even yielding all sibling area cannot fit both macro sets:
+            # split proportionally to the minimum needs and charge the
+            # relative overflow as a macro violation.  A subtree that
+            # fits at no width reports an infinite need; cap it at the
+            # span so the proportional split stays finite.
+            overflow = (left_min + right_min - span) / max(span, 1e-12)
+            own_macro = (min(overflow, 4.0),)
+            repairs = 1
+            lm = min(left_min, span)
+            rm = min(right_min, span)
+            denom = max(lm + rm, 1e-12)
+            left_share = span * (lm / denom)
+        else:
+            lo = left_min
+            hi = span - right_min
+            clamped = min(max(left_share, lo), hi)
+            if abs(clamped - left_share) > 1e-12:
+                repairs = 1
+            left_share = clamped
 
-    # Guard float noise: shares live in [0, span] exactly.
-    left_share = min(max(left_share, 0.0), span)
-    right_share = max(span - left_share, 0.0)
-    if horizontal_split:
-        left_rect = Rect(rect.x, rect.y, left_share, rect.h)
-        right_rect = Rect(rect.x + left_share, rect.y,
-                          right_share, rect.h)
-    else:
-        left_rect = Rect(rect.x, rect.y, rect.w, left_share)
-        right_rect = Rect(rect.x, rect.y + left_share,
-                          rect.w, right_share)
+        # Guard float noise: shares live in [0, span] exactly.
+        left_share = min(max(left_share, 0.0), span)
+        right_share = max(span - left_share, 0.0)
+        if horizontal_split:
+            left_rect = Rect(rect.x, rect.y, left_share, rect.h)
+            right_rect = Rect(rect.x + left_share, rect.y,
+                              right_share, rect.h)
+        else:
+            left_rect = Rect(rect.x, rect.y, rect.w, left_share)
+            right_rect = Rect(rect.x, rect.y + left_share,
+                              rect.w, right_share)
 
-    _assign(node.left, left_rect, blocks, report)
-    _assign(node.right, right_rect, blocks, report)
+        left = _expand(node.left, left_rect, blocks, cache)
+        right = _expand(node.right, right_rect, blocks, cache)
+        sub = SubLayout(
+            rects=left.rects + right.rects,
+            target_contribs=left.target_contribs + right.target_contribs,
+            min_contribs=left.min_contribs + right.min_contribs,
+            macro_contribs=(own_macro + left.macro_contribs
+                            + right.macro_contribs),
+            repairs=repairs + left.repairs + right.repairs,
+            nodes=1 + left.nodes + right.nodes)
+
+    if cache is not None:
+        cache.nodes_expanded += 1
+        cache.put(key, sub)
+    return sub
 
 
-def budgeted_layout(root: SlicingNode, region: Rect,
-                    blocks: List[Block]) -> BudgetReport:
+def budgeted_layout(root: SlicingNode, region: Rect, blocks: List[Block],
+                    cache: Optional[LayoutCache] = None) -> BudgetReport:
     """Assign every leaf block a rectangle inside ``region``.
 
     ``root`` must already be annotated with composed curves and areas
     (``annotate_curves`` / ``annotate_areas``).  The returned report
     carries the leaf rectangles and the violation accounting used by the
     cost model; rectangles always tile ``region`` exactly.
+
+    With a :class:`LayoutCache` (requires subtree signatures), unchanged
+    subtrees reuse their previous expansion; the report is bit-identical
+    to the uncached one (``sum`` folds the contributions left-to-right
+    in depth-first order, the historical accumulation order).
     """
-    report = BudgetReport()
-    _assign(root, region, blocks, report)
-    return report
+    if cache is not None and root.signature is None:
+        raise ValueError(
+            "budgeted_layout(cache=...) needs subtree signatures — run "
+            "repro.slicing.tree.compute_signatures(root) first (without "
+            "them every subtree would share the cache key None and "
+            "collide)")
+    sub = _expand(root, region, blocks, cache)
+    return BudgetReport(
+        target_deficit=sum(sub.target_contribs),
+        min_deficit=sum(sub.min_contribs),
+        macro_deficit=sum(sub.macro_contribs),
+        repairs=sub.repairs,
+        leaf_rects=dict(sub.rects))

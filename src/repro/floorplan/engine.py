@@ -5,6 +5,18 @@ annealing.  Every candidate expression is expanded top-down into a
 budgeted layout and scored with the penalty-times-distance cost model;
 the best legal-leaning layout wins.  Single-block instances short-cut to
 a direct assignment.
+
+Cost evaluation is **incremental** by default (``LayoutConfig.incremental``):
+a whole-expression transposition table short-circuits re-proposed
+candidates, a :class:`~repro.slicing.tree.SubtreeCache` reuses the
+composed shape curves and area annotations of every subtree a
+perturbation did not touch, and a
+:class:`~repro.floorplan.budget.LayoutCache` reuses their budgeted
+sub-layouts.  All three caches return exactly what full re-evaluation
+would compute, so results are bit-identical under a fixed seed — the
+``incremental=False`` fallback exists for cross-checking, not because
+the answers differ.  :class:`~repro.slicing.tree.EvalStats` counters on
+the :class:`LayoutResult` report how much work was saved.
 """
 
 from __future__ import annotations
@@ -13,12 +25,21 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.floorplan.blocks import Block, Terminal
-from repro.floorplan.budget import BudgetReport, budgeted_layout
+from repro.memo import BoundedStore
+from repro.floorplan.budget import BudgetReport, LayoutCache, budgeted_layout
 from repro.floorplan.cost import CostModel, CostWeights
 from repro.geometry.rect import Rect
 from repro.slicing.anneal import AnnealConfig, Annealer
 from repro.slicing.polish import H, PolishExpression, V
-from repro.slicing.tree import annotate_areas, annotate_curves, build_tree
+from repro.slicing.tree import (
+    EvalStats,
+    SubtreeCache,
+    annotate_areas,
+    annotate_cached,
+    annotate_curves,
+    build_tree,
+    compute_signatures,
+)
 
 
 def _chain(n_blocks: int, operators) -> PolishExpression:
@@ -52,6 +73,10 @@ class LayoutConfig:
     final_curve_limit: int = 32
     anneal: AnnealConfig = None
     restarts: int = 2
+    #: Reuse cached subtree curves/areas and budgeted sub-layouts
+    #: between cost evaluations.  Bit-identical to full re-evaluation
+    #: under a fixed seed; disable only to cross-check that claim.
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.anneal is None:
@@ -71,21 +96,122 @@ class LayoutResult:
     penalty: float
     distance_term: float
     expression: Optional[PolishExpression]
+    #: Evaluation-work counters of the search.  Always populated by
+    #: :func:`generate_layout` (a single-block short-cut records just
+    #: its one final evaluation); ``None`` only on manually built
+    #: results.
+    stats: Optional[EvalStats] = None
 
     @property
     def is_legal(self) -> bool:
         return self.report.is_legal
 
 
-def _evaluate(expr: PolishExpression, problem: LayoutProblem,
-              model: CostModel, curve_limit: int) -> BudgetReport:
-    root = build_tree(expr)
-    leaf_curves = [b.curve for b in problem.blocks]
-    annotate_curves(root, leaf_curves, curve_limit)
-    annotate_areas(root,
-                   [b.area_min for b in problem.blocks],
-                   [b.area_target for b in problem.blocks])
-    return budgeted_layout(root, problem.region, problem.blocks)
+class LayoutEvaluator:
+    """Expression -> budgeted layout/cost, optionally incremental.
+
+    One evaluator serves one (problem, curve limit) context.  In
+    incremental mode it keeps three cooperating caches — a
+    whole-expression cost transposition table, the per-subtree
+    curve/area annotations and the per-(subtree, rect) budgeted
+    sub-layouts — and records their effect in ``stats``.  All cached
+    values equal what full evaluation computes, so the two modes yield
+    bit-identical costs and layouts.
+    """
+
+    def __init__(self, problem: LayoutProblem, model: CostModel,
+                 curve_limit: int, incremental: bool,
+                 stats: Optional[EvalStats] = None):
+        self.problem = problem
+        self.model = model
+        self.curve_limit = curve_limit
+        self.incremental = incremental
+        self.stats = stats if stats is not None else EvalStats()
+        self._leaf_curves = [b.curve for b in problem.blocks]
+        self._area_min = [b.area_min for b in problem.blocks]
+        self._area_target = [b.area_target for b in problem.blocks]
+        self._n_nodes = max(1, 2 * len(problem.blocks) - 1)
+        if incremental:
+            self._subtrees = SubtreeCache()
+            self._layouts = LayoutCache()
+            self._costs: Optional[BoundedStore] = BoundedStore()
+        else:
+            self._subtrees = None
+            self._layouts = None
+            self._costs = None
+
+    # -- internals ----------------------------------------------------------
+
+    def _annotate(self, expr: PolishExpression):
+        root = build_tree(expr)
+        if self.incremental:
+            compute_signatures(root)
+            annotate_cached(root, self._leaf_curves, self.curve_limit,
+                            self._subtrees, minimum=self._area_min,
+                            target=self._area_target)
+        else:
+            annotate_curves(root, self._leaf_curves, self.curve_limit)
+            annotate_areas(root, self._area_min, self._area_target)
+        return root
+
+    def _account_nodes(self) -> None:
+        """Book one full-expansion equivalent against the counters."""
+        self.stats.layout_nodes_total += self._n_nodes
+        if not self.incremental:
+            self.stats.layout_nodes_expanded += self._n_nodes
+
+    # -- evaluation ---------------------------------------------------------
+
+    def report(self, expr: PolishExpression) -> BudgetReport:
+        """The full budget report for one expression (no cost memo)."""
+        self.stats.cost_evals += 1
+        self._account_nodes()
+        root = self._annotate(expr)
+        return budgeted_layout(root, self.problem.region,
+                               self.problem.blocks, cache=self._layouts)
+
+    def cost(self, expr: PolishExpression) -> float:
+        """The annealing objective; memoized per expression."""
+        self.stats.cost_evals += 1
+        self._account_nodes()
+        key = None
+        if self._costs is not None:
+            key = tuple(expr.tokens)
+            cached = self._costs.get(key)
+            if cached is not None:
+                self.stats.cost_cache_hits += 1
+                return cached
+        root = self._annotate(expr)
+        report = budgeted_layout(root, self.problem.region,
+                                 self.problem.blocks, cache=self._layouts)
+        value = self.model.cost(report)
+        if key is not None:
+            self._costs.put(key, value)
+        return value
+
+    def flush_counters(self) -> None:
+        """Fold the cache-level counters into ``stats`` (idempotent via
+        zeroing the sources)."""
+        if not self.incremental:
+            return
+        self.stats.subtree_hits += self._subtrees.hits
+        self.stats.subtree_misses += self._subtrees.misses
+        self.stats.curve_compose_hits += self._subtrees.compose.hits
+        self.stats.curve_compose_misses += self._subtrees.compose.misses
+        self.stats.layout_nodes_expanded += self._layouts.nodes_expanded
+        self._subtrees.hits = self._subtrees.misses = 0
+        self._subtrees.compose.hits = self._subtrees.compose.misses = 0
+        self._layouts.nodes_expanded = 0
+
+
+def _result_from(report: BudgetReport, model: CostModel,
+                 expr: PolishExpression,
+                 stats: Optional[EvalStats]) -> LayoutResult:
+    return LayoutResult(
+        rects=dict(report.leaf_rects), report=report,
+        cost=model.cost(report), penalty=model.penalty(report),
+        distance_term=model.distance_term(report.leaf_rects),
+        expression=expr, stats=stats)
 
 
 def generate_layout(problem: LayoutProblem,
@@ -96,18 +222,17 @@ def generate_layout(problem: LayoutProblem,
     model = CostModel(problem.blocks, problem.terminals, problem.affinity,
                       config.weights, scale=scale)
 
+    stats = EvalStats()
+    final_eval = LayoutEvaluator(problem, model, config.final_curve_limit,
+                                 incremental=False, stats=stats)
+
     if len(problem.blocks) == 1:
         expr = PolishExpression([0])
-        report = _evaluate(expr, problem, model, config.final_curve_limit)
-        return LayoutResult(
-            rects=dict(report.leaf_rects), report=report,
-            cost=model.cost(report), penalty=model.penalty(report),
-            distance_term=model.distance_term(report.leaf_rects),
-            expression=expr)
+        report = final_eval.report(expr)
+        return _result_from(report, model, expr, stats)
 
-    def sa_cost(expr: PolishExpression) -> float:
-        report = _evaluate(expr, problem, model, config.anneal_curve_limit)
-        return model.cost(report)
+    sa_eval = LayoutEvaluator(problem, model, config.anneal_curve_limit,
+                              incremental=config.incremental, stats=stats)
 
     # Deterministic seed structures: a vertical stack, a horizontal row
     # and an alternating chain.  They bound the SA result (useful on
@@ -116,18 +241,15 @@ def generate_layout(problem: LayoutProblem,
     n = len(problem.blocks)
     candidates: List[PolishExpression] = [
         _chain(n, (H,)), _chain(n, (V,)), PolishExpression.initial(n)]
-    scored = [(sa_cost(expr), i) for i, expr in enumerate(candidates)]
+    scored = [(sa_eval.cost(expr), i) for i, expr in enumerate(candidates)]
     scored.sort()
     best = candidates[scored[0][1]]
 
-    annealer = Annealer(sa_cost, config.anneal)
+    annealer = Annealer(sa_eval.cost, config.anneal)
     result = annealer.run(best)
     if result.best_cost <= scored[0][0]:
         best = result.best
+    sa_eval.flush_counters()
 
-    report = _evaluate(best, problem, model, config.final_curve_limit)
-    return LayoutResult(
-        rects=dict(report.leaf_rects), report=report,
-        cost=model.cost(report), penalty=model.penalty(report),
-        distance_term=model.distance_term(report.leaf_rects),
-        expression=best)
+    report = final_eval.report(best)
+    return _result_from(report, model, best, stats)

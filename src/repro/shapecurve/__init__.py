@@ -7,10 +7,11 @@ what lets the top-down layout generator check macro legality at every
 level of the slicing tree.
 """
 
-from repro.shapecurve.curve import ShapeCurve
+from repro.shapecurve.curve import ComposeCache, ShapeCurve
 from repro.shapecurve.generation import (
     curve_for_macros,
     generate_shape_curves,
 )
 
-__all__ = ["ShapeCurve", "curve_for_macros", "generate_shape_curves"]
+__all__ = ["ComposeCache", "ShapeCurve", "curve_for_macros",
+           "generate_shape_curves"]

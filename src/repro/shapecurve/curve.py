@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.memo import DEFAULT_MAX_ENTRIES, BoundedStore
+
 Pointwh = Tuple[float, float]
 
 #: Curves are downsampled to this many points after composition so that
@@ -34,12 +36,32 @@ def _pareto_prune(points: Iterable[Pointwh]) -> List[Pointwh]:
 
 
 def _downsample(points: List[Pointwh], limit: int) -> List[Pointwh]:
-    """Thin a Pareto front to ``limit`` points, keeping the extremes."""
-    if len(points) <= limit:
+    """Thin a Pareto front to exactly ``limit`` distinct points.
+
+    Both extremes (widest-flattest and narrowest-tallest) are always
+    kept.  Index selection is de-duplicated and topped up so the result
+    has ``min(limit, len(points))`` points — the naive ``round(i*step)``
+    sampling can pick the same index twice on small fronts and silently
+    drop knee points.
+    """
+    n = len(points)
+    if n <= limit:
         return points
-    step = (len(points) - 1) / (limit - 1)
-    picked = [points[round(i * step)] for i in range(limit)]
-    return _pareto_prune(picked)
+    if limit <= 1:
+        return [points[0]]
+    step = (n - 1) / (limit - 1)
+    chosen = {round(i * step) for i in range(limit)}
+    chosen.add(0)
+    chosen.add(n - 1)
+    # Rounding collisions leave fewer than ``limit`` indices; fill the
+    # gaps with the smallest unused indices (deterministic, keeps the
+    # result a width-sorted subset of an already-Pareto front).
+    fill = 0
+    while len(chosen) < limit:
+        if fill not in chosen:
+            chosen.add(fill)
+        fill += 1
+    return [points[i] for i in sorted(chosen)]
 
 
 class ShapeCurve:
@@ -229,6 +251,52 @@ class ShapeCurve:
                for w2, h2 in other._points]
         curve = ShapeCurve(pts)
         curve._points = tuple(_downsample(list(curve._points), limit))
+        return curve
+
+
+class ComposeCache:
+    """Memo for pairwise curve composition.
+
+    Curves are immutable and hashable, so a composition is fully
+    determined by the operand point tuples, the cut direction and the
+    downsampling limit; a hit returns the exact ``ShapeCurve`` object an
+    uncached composition would have produced.  Annealing engines share
+    one cache per search so that re-evaluating a perturbed slicing tree
+    only recomposes the curves along the perturbed root path.  Bounded
+    by a :class:`repro.memo.BoundedStore`.
+    """
+
+    __slots__ = ("hits", "misses", "_store")
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        self._store = BoundedStore(max_entries)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def compose(self, left: ShapeCurve, right: ShapeCurve,
+                horizontal: bool, limit: int = MAX_POINTS) -> ShapeCurve:
+        """``left ⊕ right`` with the given cut direction, memoized.
+
+        ``horizontal=True`` composes side by side (a vertical cut line,
+        matching :meth:`ShapeCurve.compose_horizontal`).
+        """
+        key = (left._points, right._points, horizontal, limit)
+        cached = self._store.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        if horizontal:
+            curve = left.compose_horizontal(right, limit)
+        else:
+            curve = left.compose_vertical(right, limit)
+        self._store.put(key, curve)
         return curve
 
 

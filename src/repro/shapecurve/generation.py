@@ -7,6 +7,14 @@ area-optimizing slicing floorplan search over the child curves generates
 "a set of shape combinations with small area which are valid for the
 node".  Several annealing runs with different target aspect ratios seed
 a diverse Pareto front.
+
+Like the layout engine, the search evaluates costs **incrementally** by
+default (``ShapeGenConfig.incremental``): one
+:class:`~repro.slicing.tree.SubtreeCache` per node search — shared by
+every aspect-ratio pass, which anneal over the same child curves —
+reuses composed subtree curves, and a per-pass transposition table
+short-circuits re-proposed expressions.  Results are bit-identical to
+full re-evaluation under a fixed seed.
 """
 
 from __future__ import annotations
@@ -16,10 +24,18 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Sequence
 
+from repro.memo import BoundedStore
 from repro.shapecurve.curve import ShapeCurve, compose_many
 from repro.slicing.anneal import AnnealConfig, Annealer
 from repro.slicing.polish import PolishExpression
-from repro.slicing.tree import annotate_curves, build_tree
+from repro.slicing.tree import (
+    EvalStats,
+    SubtreeCache,
+    annotate_cached,
+    annotate_curves,
+    build_tree,
+    compute_signatures,
+)
 
 
 @dataclass
@@ -37,6 +53,9 @@ class ShapeGenConfig:
     compose_limit: int = 10
     max_leaves: int = 24
     aspect_penalty: float = 0.22
+    #: Reuse cached subtree compositions between cost evaluations
+    #: (bit-identical to full re-evaluation; see module docstring).
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.anneal is None:
@@ -45,21 +64,57 @@ class ShapeGenConfig:
                                        moves_per_temperature=24)
 
 
+def _curve_area_score(curve: ShapeCurve, log_target: float,
+                      penalty: float) -> float:
+    """Smallest point area on ``curve``, biased toward the aspect target."""
+    best = math.inf
+    for w, h in curve.points:
+        if w <= 0 or h <= 0:
+            continue
+        bias = 1.0 + penalty * abs(math.log(h / w) - log_target)
+        best = min(best, w * h * bias)
+    return best if best < math.inf else 1e30
+
+
 def _area_cost(leaf_curves: List[ShapeCurve], ar_target: float,
-               limit: int, penalty: float) -> Callable[[PolishExpression], float]:
-    """Cost = smallest root-curve area, softly biased toward ``ar_target``."""
+               limit: int, penalty: float,
+               cache: Optional[SubtreeCache] = None,
+               stats: Optional[EvalStats] = None
+               ) -> Callable[[PolishExpression], float]:
+    """Cost = smallest root-curve area, softly biased toward ``ar_target``.
+
+    With a :class:`SubtreeCache` the evaluation is incremental: a
+    transposition table short-circuits repeated expressions and subtree
+    compositions are reused across evaluations (and across the cost
+    functions of other aspect targets sharing the same cache).
+    """
     log_target = math.log(ar_target)
+    n_nodes = max(1, 2 * len(leaf_curves) - 1)
+    memo = BoundedStore() if cache is not None else None
 
     def cost(expr: PolishExpression) -> float:
+        if stats is not None:
+            stats.cost_evals += 1
+            stats.layout_nodes_total += n_nodes
+        if memo is not None:
+            key = tuple(expr.tokens)
+            cached = memo.get(key)
+            if cached is not None:
+                if stats is not None:
+                    stats.cost_cache_hits += 1
+                return cached
         root = build_tree(expr)
-        curve = annotate_curves(root, leaf_curves, limit)
-        best = math.inf
-        for w, h in curve.points:
-            if w <= 0 or h <= 0:
-                continue
-            bias = 1.0 + penalty * abs(math.log(h / w) - log_target)
-            best = min(best, w * h * bias)
-        return best if best < math.inf else 1e30
+        if cache is not None:
+            compute_signatures(root)
+            curve = annotate_cached(root, leaf_curves, limit, cache)
+        else:
+            curve = annotate_curves(root, leaf_curves, limit)
+            if stats is not None:
+                stats.layout_nodes_expanded += n_nodes
+        value = _curve_area_score(curve, log_target, penalty)
+        if memo is not None:
+            memo.put(key, value)
+        return value
 
     return cost
 
@@ -68,14 +123,31 @@ def _chunked(curves: List[ShapeCurve], size: int) -> List[List[ShapeCurve]]:
     return [curves[i:i + size] for i in range(0, len(curves), size)]
 
 
+def _flush_cache_counters(cache: Optional[SubtreeCache],
+                          stats: Optional[EvalStats]) -> None:
+    if cache is None or stats is None:
+        return
+    stats.subtree_hits += cache.hits
+    stats.subtree_misses += cache.misses
+    stats.curve_compose_hits += cache.compose.hits
+    stats.curve_compose_misses += cache.compose.misses
+    # The shape search has no budgeting step; count the composed
+    # internal nodes actually recomputed as its expansion work.
+    stats.layout_nodes_expanded += cache.misses
+    cache.hits = cache.misses = 0
+    cache.compose.hits = cache.compose.misses = 0
+
+
 def curve_for_macros(curves: Sequence[ShapeCurve],
-                     config: Optional[ShapeGenConfig] = None) -> ShapeCurve:
+                     config: Optional[ShapeGenConfig] = None,
+                     stats: Optional[EvalStats] = None) -> ShapeCurve:
     """Shape curve of a group of blocks with the given child curves.
 
     Runs an area-minimizing slicing search for each target aspect ratio
     and merges every root curve seen into one Pareto front.  Groups
     larger than ``config.max_leaves`` are combined hierarchically in
-    chunks, trading a little optimality for bounded runtime.
+    chunks, trading a little optimality for bounded runtime.  ``stats``
+    accumulates evaluation-work counters when provided.
     """
     config = config or ShapeGenConfig()
     real = [c for c in curves if not c.is_trivial]
@@ -84,9 +156,9 @@ def curve_for_macros(curves: Sequence[ShapeCurve],
     if len(real) == 1:
         return real[0].with_rotations()
     if len(real) > config.max_leaves:
-        merged = [curve_for_macros(chunk, config)
+        merged = [curve_for_macros(chunk, config, stats)
                   for chunk in _chunked(real, config.max_leaves)]
-        return curve_for_macros(merged, config)
+        return curve_for_macros(merged, config, stats)
 
     rng = random.Random(config.seed)
     points: List = []
@@ -96,16 +168,27 @@ def curve_for_macros(curves: Sequence[ShapeCurve],
     points.extend(compose_many(real, horizontal=True).points)
     points.extend(compose_many(real, horizontal=False).points)
 
+    # One cache for all aspect-target passes: they share child curves
+    # and compose limit, so subtree compositions transfer across passes.
+    cache = SubtreeCache() if config.incremental else None
+
     for ar_target in config.aspect_targets:
         cost_fn = _area_cost(list(real), ar_target,
-                             config.compose_limit, config.aspect_penalty)
+                             config.compose_limit, config.aspect_penalty,
+                             cache=cache, stats=stats)
         annealer = Annealer(cost_fn, config.anneal)
         initial = PolishExpression.initial(len(real), rng)
         result = annealer.run(initial)
         root = build_tree(result.best)
-        curve = annotate_curves(root, list(real), config.compose_limit)
+        if cache is not None:
+            compute_signatures(root)
+            curve = annotate_cached(root, list(real),
+                                    config.compose_limit, cache)
+        else:
+            curve = annotate_curves(root, list(real), config.compose_limit)
         points.extend(curve.points)
 
+    _flush_cache_counters(cache, stats)
     return ShapeCurve(points)
 
 
@@ -113,7 +196,8 @@ def generate_shape_curves(root: Hashable,
                           children_of: Callable[[Hashable], Sequence],
                           own_macro_curves_of: Callable[[Hashable],
                                                         Sequence[ShapeCurve]],
-                          config: Optional[ShapeGenConfig] = None
+                          config: Optional[ShapeGenConfig] = None,
+                          stats: Optional[EvalStats] = None
                           ) -> Dict[Hashable, ShapeCurve]:
     """Bottom-up S_Γ computation over an arbitrary hierarchy tree.
 
@@ -128,6 +212,9 @@ def generate_shape_curves(root: Hashable,
         (not through children).
     config:
         Search knobs shared by every node.
+    stats:
+        Optional :class:`~repro.slicing.tree.EvalStats` accumulating
+        evaluation-work counters over every node search.
 
     Returns a dict mapping every node (in the subtree of ``root``) to its
     shape curve; macro-free subtrees map to the trivial curve.
@@ -144,7 +231,7 @@ def generate_shape_curves(root: Hashable,
         elif len(parts) == 1:
             curve = parts[0].with_rotations()
         else:
-            curve = curve_for_macros(parts, config)
+            curve = curve_for_macros(parts, config, stats)
         curves[node] = curve
         return curve
 

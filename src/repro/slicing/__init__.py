@@ -9,12 +9,24 @@ layout generation, Sect. IV-E).
 """
 
 from repro.slicing.anneal import AnnealConfig, Annealer, AnnealResult
-from repro.slicing.moves import perturb
+from repro.slicing.moves import Move, perturb
 from repro.slicing.polish import PolishExpression, H, V
-from repro.slicing.tree import SlicingNode, build_tree
+from repro.slicing.tree import (
+    EvalStats,
+    SlicingNode,
+    SubtreeCache,
+    annotate_cached,
+    build_tree,
+    compute_signatures,
+)
 
 __all__ = [
     "AnnealConfig",
+    "EvalStats",
+    "Move",
+    "SubtreeCache",
+    "annotate_cached",
+    "compute_signatures",
     "Annealer",
     "AnnealResult",
     "PolishExpression",

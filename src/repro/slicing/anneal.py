@@ -19,6 +19,15 @@ from repro.slicing.moves import perturb
 from repro.slicing.polish import PolishExpression
 
 
+#: Spacing between per-restart child seeds.  A large odd constant (the
+#: golden-ratio hash multiplier) so that restart streams can never
+#: collide with the small consecutive per-level seed increments callers
+#: use (e.g. ``HiDaPConfig.layout_config`` seeds adjacent levels with
+#: ``base + level``); with a +1 stride, restart 1 of one level would be
+#: driven by the identical RNG stream as restart 0 of the next.
+RESTART_SEED_STRIDE = 0x9E3779B1
+
+
 @dataclass
 class AnnealConfig:
     """Annealing schedule parameters.
@@ -41,6 +50,11 @@ class AnnealConfig:
     moves_per_temperature: int = 40
     min_temperature_ratio: float = 1e-4
     restarts: int = 1
+    #: Random perturbations probed to pick T0.  Calibration is part of
+    #: each restart's own RNG stream (see :meth:`Annealer.run`), so
+    #: changing this count re-randomizes a restart's search but can
+    #: never leak into *other* restarts.
+    calibration_probes: int = 24
 
     def total_moves(self, n_blocks: int) -> int:
         moves = self.moves_per_block * max(1, n_blocks)
@@ -51,6 +65,15 @@ class AnnealConfig:
             return self.cooling
         steps = max(2.0, budget / max(1, self.moves_per_temperature))
         return self.min_temperature_ratio ** (1.0 / steps)
+
+    def restart_seed(self, restart: int) -> int:
+        """The child seed driving restart number ``restart``.
+
+        Restart 0 keeps the configured seed (historical single-restart
+        streams are reproduced exactly); later restarts are spaced by
+        :data:`RESTART_SEED_STRIDE`.
+        """
+        return self.seed + restart * RESTART_SEED_STRIDE
 
 
 @dataclass
@@ -90,7 +113,7 @@ class Annealer:
         deltas = []
         probe = expr.copy()
         cost = self.cost_fn(probe)
-        for _ in range(24):
+        for _ in range(max(1, self.config.calibration_probes)):
             perturb(probe, rng)
             new_cost = self.cost_fn(probe)
             if new_cost > cost:
@@ -146,13 +169,33 @@ class Annealer:
     # -- public API -----------------------------------------------------------
 
     def run(self, initial: PolishExpression) -> AnnealResult:
-        """Anneal from ``initial``; multi-restart keeps the best result."""
-        rng = random.Random(self.config.seed)
+        """Anneal from ``initial``; multi-restart keeps the best result.
+
+        Determinism contract: restart ``r`` re-anneals the caller's
+        ``initial`` expression driven *entirely* by the child seed
+        ``config.restart_seed(r)`` (= ``seed + r *
+        RESTART_SEED_STRIDE``) — one ``random.Random(child_seed)``
+        feeds, in order, the restart's temperature calibration and its
+        move/acceptance stream.  Consequences:
+
+        * restart ``r`` of this run is identical to restart 0 of a
+          single-restart run at ``restart_seed(r)``; raising
+          ``restarts`` appends new searches without disturbing the
+          results of earlier ones (the historical engine threaded one
+          RNG through calibration and all restarts, so any change to
+          the calibration probe count — or to the restart count —
+          silently reshuffled every downstream placement);
+        * every restart revisits ``initial`` (the caller's best known
+          start) instead of abandoning it for a random shuffle, as the
+          historical engine did for restarts > 0; diversity comes from
+          the per-restart streams;
+        * restart 0, with the default configuration, reproduces the
+          single-restart results of the historical engine exactly.
+        """
         best_result: Optional[AnnealResult] = None
         for restart in range(max(1, self.config.restarts)):
-            start = (initial if restart == 0
-                     else PolishExpression.initial(initial.n_blocks, rng))
-            result = self._run_once(start, rng)
+            rng = random.Random(self.config.restart_seed(restart))
+            result = self._run_once(initial, rng)
             if best_result is None or result.best_cost < best_result.best_cost:
                 best_result = result
         return best_result

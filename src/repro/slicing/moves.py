@@ -10,14 +10,20 @@ Wong & Liu, DAC'86.  These are:
 * **M3** — swap an adjacent operand/operator pair (only when the result
   is still valid and normalized).
 
-All moves mutate the expression in place and return a description of the
-applied move so a caller can log or undo it.
+All moves mutate the expression in place and return a :class:`Move`
+record naming the move kind and the token positions that changed, so a
+caller can log or undo it — or tell which subtrees of the slicing tree
+survived the perturbation: every subtree whose token span avoids
+``move.positions`` is structurally unchanged.  (The incremental
+evaluators in :mod:`repro.floorplan.engine` recover the same
+information from subtree signatures, which also catch structure
+repeated across unrelated expressions.)
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
 from repro.slicing.polish import PolishExpression, is_operator, other_operator
 
@@ -26,8 +32,30 @@ from repro.slicing.polish import PolishExpression, is_operator, other_operator
 _MAX_TRIES = 8
 
 
+class Move(NamedTuple):
+    """An applied perturbation.
+
+    ``positions`` are the indices of every token the move touched, in
+    increasing order; ``move[0]`` still reads as the move kind, like
+    the historical plain-tuple return did.
+    """
+
+    kind: str
+    positions: Tuple[int, ...]
+
+    @property
+    def lo(self) -> int:
+        """Smallest changed token index."""
+        return self.positions[0]
+
+    @property
+    def hi(self) -> int:
+        """Largest changed token index."""
+        return self.positions[-1]
+
+
 def move_operand_swap(expr: PolishExpression,
-                      rng: random.Random) -> Optional[Tuple]:
+                      rng: random.Random) -> Optional[Move]:
     """M1: swap two operands that are adjacent in operand order."""
     positions = expr.operand_positions()
     if len(positions) < 2:
@@ -35,11 +63,11 @@ def move_operand_swap(expr: PolishExpression,
     k = rng.randrange(len(positions) - 1)
     i, j = positions[k], positions[k + 1]
     expr.tokens[i], expr.tokens[j] = expr.tokens[j], expr.tokens[i]
-    return ("M1", i, j)
+    return Move("M1", (i, j))
 
 
 def move_chain_invert(expr: PolishExpression,
-                      rng: random.Random) -> Optional[Tuple]:
+                      rng: random.Random) -> Optional[Move]:
     """M2: complement every operator in one maximal operator chain."""
     chains = expr.operator_chains()
     if not chains:
@@ -47,11 +75,11 @@ def move_chain_invert(expr: PolishExpression,
     start, end = chains[rng.randrange(len(chains))]
     for i in range(start, end + 1):
         expr.tokens[i] = other_operator(expr.tokens[i])
-    return ("M2", start, end)
+    return Move("M2", tuple(range(start, end + 1)))
 
 
 def move_operand_operator_swap(expr: PolishExpression,
-                               rng: random.Random) -> Optional[Tuple]:
+                               rng: random.Random) -> Optional[Move]:
     """M3: swap an adjacent operand/operator pair, keeping validity.
 
     Candidates are drawn at random and validated on a scratch copy;
@@ -67,7 +95,7 @@ def move_operand_operator_swap(expr: PolishExpression,
             continue
         expr.tokens[i], expr.tokens[i + 1] = b, a
         if expr.is_valid():
-            return ("M3", i, i + 1)
+            return Move("M3", (i, i + 1))
         expr.tokens[i], expr.tokens[i + 1] = a, b   # revert illegal swap
     return None
 
@@ -75,12 +103,14 @@ def move_operand_operator_swap(expr: PolishExpression,
 _MOVES = (move_operand_swap, move_chain_invert, move_operand_operator_swap)
 
 
-def perturb(expr: PolishExpression, rng: random.Random) -> Tuple:
+def perturb(expr: PolishExpression, rng: random.Random) -> Move:
     """Apply one of M1/M2/M3 chosen uniformly at random.
 
     If the chosen move cannot produce a legal perturbation the other
     moves are tried, so the function always perturbs expressions with at
-    least two operands.
+    least two operands.  Returns the applied :class:`Move`, whose
+    ``positions`` tell the caller which token indices — and therefore
+    which slicing subtrees — changed.
     """
     order = list(_MOVES)
     rng.shuffle(order)

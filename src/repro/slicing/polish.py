@@ -55,7 +55,7 @@ class PolishExpression:
 
         ``[0, 1, V, 2, H, 3, V, ...]`` — valid and normalized for any n.
         When an ``rng`` is given, the operand order is shuffled so that
-        restarts explore different corners of the space.
+        repeated searches explore different corners of the space.
         """
         if n_blocks < 1:
             raise ValueError("need at least one block")

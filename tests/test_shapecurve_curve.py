@@ -3,7 +3,12 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.shapecurve.curve import ShapeCurve, compose_many
+from repro.shapecurve.curve import (
+    ComposeCache,
+    ShapeCurve,
+    _downsample,
+    compose_many,
+)
 
 sides = st.floats(min_value=0.5, max_value=200.0, allow_nan=False)
 points = st.lists(st.tuples(sides, sides), min_size=1, max_size=12)
@@ -148,3 +153,74 @@ class TestComposition:
             for j, (w2, h2) in enumerate(curve.points):
                 if i != j:
                     assert not (w1 <= w2 and h1 <= h2)
+
+
+def _front(n):
+    """A strict Pareto front of n points."""
+    return [(float(i + 1), float(n - i)) for i in range(n)]
+
+
+class TestDownsample:
+    @given(st.integers(min_value=2, max_value=60),
+           st.integers(min_value=2, max_value=60))
+    def test_exact_count(self, n, limit):
+        """A thinned front has exactly min(limit, n) distinct points.
+
+        The historical ``round(i*step)`` sampling could pick an index
+        twice (e.g. n=5, limit=4 picks index 1 for both i=1 and i=2)
+        and silently return fewer points, dropping knee points on small
+        fronts."""
+        out = _downsample(_front(n), limit)
+        assert len(out) == min(limit, n)
+        assert len(set(out)) == len(out)
+
+    @given(st.integers(min_value=2, max_value=60),
+           st.integers(min_value=1, max_value=60))
+    def test_keeps_extremes_and_order(self, n, limit):
+        front = _front(n)
+        out = _downsample(front, limit)
+        assert out[0] == front[0]
+        if limit > 1:
+            assert out[-1] == front[-1]
+        assert out == sorted(out)          # still width-sorted
+        assert set(out) <= set(front)      # a subset, no new points
+
+    def test_regression_duplicate_round_indices(self):
+        # Small fronts are where round() index collisions dropped
+        # points; check them exhaustively instead of cherry-picking.
+        for n in range(2, 20):
+            for limit in range(2, n):
+                out = _downsample(_front(n), limit)
+                assert len(out) == limit, (n, limit)
+
+
+class TestComposeCache:
+    def test_hit_returns_identical_curve(self):
+        cache = ComposeCache()
+        a = ShapeCurve([(2, 3), (3, 2)])
+        b = ShapeCurve([(4, 1)])
+        first = cache.compose(a, b, horizontal=True)
+        second = cache.compose(a, b, horizontal=True)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+        assert first == a.compose_horizontal(b)
+
+    def test_direction_and_limit_are_part_of_the_key(self):
+        cache = ComposeCache()
+        a = ShapeCurve([(2, 3), (3, 2)])
+        b = ShapeCurve([(4, 1), (1, 4)])
+        h = cache.compose(a, b, horizontal=True)
+        v = cache.compose(a, b, horizontal=False)
+        assert cache.misses == 2
+        assert h == a.compose_horizontal(b)
+        assert v == a.compose_vertical(b)
+
+    def test_bounded_store_clears(self):
+        cache = ComposeCache(max_entries=2)
+        curves = [ShapeCurve([(i + 1.0, 9.0 - i)]) for i in range(4)]
+        for c in curves:
+            cache.compose(c, curves[0], horizontal=True)
+        assert len(cache) <= 2
+        # Results stay correct after the clear.
+        out = cache.compose(curves[3], curves[0], horizontal=True)
+        assert out == curves[3].compose_horizontal(curves[0])

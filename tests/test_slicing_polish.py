@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.slicing.moves import (
+    Move,
     move_chain_invert,
     move_operand_operator_swap,
     move_operand_swap,
@@ -90,6 +91,26 @@ class TestMoves:
     def test_single_block_cannot_perturb(self):
         with pytest.raises(ValueError):
             perturb(PolishExpression([0]), random.Random(0))
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=2, max_value=10),
+           st.integers(min_value=0, max_value=10_000))
+    def test_moves_report_changed_positions(self, n_blocks, seed):
+        """Property: ``move.positions`` covers every token that
+        changed (incremental evaluators rely on this to know which
+        subtrees survived)."""
+        rng = random.Random(seed)
+        expr = PolishExpression.initial(n_blocks, rng)
+        for _ in range(20):
+            before = list(expr.tokens)
+            move = perturb(expr, rng)
+            assert isinstance(move, Move)
+            changed = {i for i, (a, b)
+                       in enumerate(zip(before, expr.tokens)) if a != b}
+            assert changed <= set(move.positions)
+            assert list(move.positions) == sorted(move.positions)
+            assert move.lo == move.positions[0]
+            assert move.hi == move.positions[-1]
 
     @settings(max_examples=60)
     @given(st.integers(min_value=2, max_value=10),
