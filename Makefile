@@ -1,18 +1,20 @@
 # Convenience targets for the RTL-aware macro-placement reproduction.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke-api bench-suite bench-anneal check flows
+.PHONY: test smoke-api bench-suite bench-anneal bench-referee check flows
 
 # Tier-1 verification: the full unit-test suite.
 test:
 	python -m pytest -x -q
 
 # One verification entry point for builders: tier-1 tests (tests/ only,
-# the benchmark reproductions are excluded for speed) plus the API
-# smoke.
+# the benchmark reproductions are excluded for speed), the API smoke,
+# and the referee-backend benchmark (fails unless the numpy referee is
+# >= 3x the python oracle and bit-identical).
 check:
 	python -m pytest -x -q tests
 	$(MAKE) smoke-api
+	$(MAKE) bench-referee
 
 # Fast smoke of the unified repro.api surface (registry, pipeline,
 # parallel suite).
@@ -29,6 +31,12 @@ bench-suite:
 # placements and writes benchmarks/artifacts/BENCH_anneal.json.
 bench-anneal:
 	python benchmarks/bench_anneal.py
+
+# Python-vs-numpy referee backends (HPWL + congestion kernels on
+# c1+c2); verifies bit-identical reports and writes
+# benchmarks/artifacts/BENCH_referee.json.
+bench-referee:
+	python benchmarks/bench_referee.py
 
 # List every registered placement flow.
 flows:

@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Referee benchmark: python reference loops vs numpy array kernels.
+
+Places each requested suite design once (with a fast deterministic
+flow, so the placement is shared), then times the referee's metric
+kernels — HPWL and congestion — under both registered backends and
+verifies that the reports agree bit-for-bit and that full referee rows
+(``evaluate_placement``) are identical after rounding.  Results land in
+``benchmarks/artifacts/BENCH_referee.json`` so future PRs have a
+performance trajectory to compare against; the process exits non-zero
+unless the numpy backend is at least ``--min-speedup`` (default 3x)
+faster and every report matches.
+
+Not collected by pytest (the file is not ``test_*``); run directly:
+
+    PYTHONPATH=src python benchmarks/bench_referee.py \
+        [--scale tiny] [--designs c1,c2] [--flow indeda] [--repeats 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+from repro.api import get_flow
+from repro.api.prepared import prepare_suite_design
+from repro.core.ports import assign_port_positions
+from repro.eval.flow import evaluate_placement
+from repro.metrics import net_arrays_for
+from repro.placement.hpwl import hpwl_report
+from repro.placement.stdcell import place_cells
+from repro.routing.congestion import estimate_congestion
+
+BACKENDS = ("python", "numpy")
+
+
+def _row_key(metrics, digits: int = 9):
+    """A FlowMetrics row rounded the way the tables round (and finer)."""
+    return (metrics.design, metrics.flow,
+            round(metrics.wl_meters, digits),
+            round(metrics.grc_percent, digits),
+            round(metrics.wns_percent, digits),
+            round(metrics.tns, digits))
+
+
+def _bench_design(name: str, scale: str, flow: str, seed: int,
+                  repeats: int) -> dict:
+    prepared = prepare_suite_design(name, scale)
+    flat = prepared.flat
+    placement = get_flow(flow, seed=seed).place(prepared)
+    ports = assign_port_positions(flat.design, placement.die)
+    cells = place_cells(flat, placement, ports)
+
+    t0 = time.perf_counter()
+    arrays = net_arrays_for(flat)
+    compile_seconds = time.perf_counter() - t0
+
+    kernel_seconds = {}
+    reports = {}
+    for backend in BACKENDS:
+        hpwl_s = congestion_s = 0.0
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            wl = hpwl_report(flat, placement, cells, ports,
+                             backend=backend)
+            hpwl_s += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            congestion = estimate_congestion(flat, placement, cells,
+                                             ports, backend=backend)
+            congestion_s += time.perf_counter() - t0
+        kernel_seconds[backend] = (hpwl_s / repeats,
+                                   congestion_s / repeats)
+        reports[backend] = (wl, congestion)
+
+    rows = {backend: _row_key(evaluate_placement(
+                flat, placement, prepared.gseq, backend=backend))
+            for backend in BACKENDS}
+
+    py_wl, py_cg = reports["python"]
+    np_wl, np_cg = reports["numpy"]
+    identical = (py_wl == np_wl
+                 and py_cg.grc_percent == np_cg.grc_percent
+                 and py_cg.hot_fraction == np_cg.hot_fraction
+                 and rows["python"] == rows["numpy"])
+
+    py_total = sum(kernel_seconds["python"])
+    np_total = sum(kernel_seconds["numpy"])
+    return {
+        "design": name,
+        "nets": int(arrays.n_nets),
+        "endpoint_rows": int(arrays.n_rows),
+        "python_hpwl_seconds": round(kernel_seconds["python"][0], 6),
+        "python_congestion_seconds": round(kernel_seconds["python"][1], 6),
+        "numpy_hpwl_seconds": round(kernel_seconds["numpy"][0], 6),
+        "numpy_congestion_seconds": round(kernel_seconds["numpy"][1], 6),
+        "compile_seconds": round(compile_seconds, 6),
+        "python_seconds": round(py_total, 6),
+        "numpy_seconds": round(np_total, 6),
+        "speedup": round(py_total / np_total, 3) if np_total else 0.0,
+        "identical": identical,
+        "wl_meters": round(py_wl.meters, 9),
+        "grc_percent": round(py_cg.grc_percent, 9),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "bench", "full"))
+    parser.add_argument("--designs", default="c1,c2")
+    parser.add_argument("--flow", default="indeda",
+                        help="flow that provides the shared placement")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="referee repetitions per backend")
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: "
+                             "benchmarks/artifacts/BENCH_referee.json)")
+    args = parser.parse_args()
+
+    per_design = []
+    all_identical = True
+    py_total = np_total = 0.0
+    for name in args.designs.split(","):
+        record = _bench_design(name, args.scale, args.flow, args.seed,
+                               args.repeats)
+        per_design.append(record)
+        all_identical = all_identical and record["identical"]
+        py_total += record["python_seconds"]
+        np_total += record["numpy_seconds"]
+        print(f"{name}: python {1e3 * record['python_seconds']:8.2f}ms  "
+              f"numpy {1e3 * record['numpy_seconds']:8.2f}ms  "
+              f"(x{record['speedup']:.1f})  "
+              f"identical={record['identical']}")
+
+    speedup = py_total / np_total if np_total else 0.0
+    record = {
+        "bench": "referee_backends",
+        "scale": args.scale,
+        "designs": args.designs.split(","),
+        "flow": args.flow,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python_seconds": round(py_total, 6),
+        "numpy_seconds": round(np_total, 6),
+        "speedup": round(speedup, 3),
+        "results_identical": all_identical,
+        "per_design": per_design,
+    }
+    out = args.out or os.path.join(os.path.dirname(__file__),
+                                   "artifacts", "BENCH_referee.json")
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    with open(out, "w") as handle:
+        json.dump(record, handle, indent=1)
+    print(f"\nreferee (hpwl + congestion, {args.repeats} repeats):")
+    print(f"python {1e3 * py_total:8.2f}ms")
+    print(f"numpy  {1e3 * np_total:8.2f}ms  (x{speedup:.2f} wall-clock "
+          "win)")
+    print(f"results identical: {all_identical}")
+    print(f"wrote {out}")
+    return 0 if all_identical and speedup >= args.min_speedup else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,8 +61,13 @@ class RunArtifacts:
     #: ``layout_nodes_expanded``, ``subtree_hits``/``subtree_misses``,
     #: ``curve_compose_hits``/``curve_compose_misses``.  Observers read
     #: them in ``on_stage_end`` to report incremental-evaluation reuse
-    #: (see :class:`repro.slicing.tree.EvalStats`).
-    eval_counters: Dict[str, int] = field(default_factory=dict)
+    #: (see :class:`repro.slicing.tree.EvalStats`).  After the shared
+    #: referee scores the run's placement, flows additionally merge in
+    #: ``referee_backend`` (a string) and the per-metric
+    #: ``referee_{stdcell,locate,hpwl,congestion,timing}_us``
+    #: wall-clock counters (integer microseconds; ``locate`` only on
+    #: array backends).
+    eval_counters: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:

@@ -43,16 +43,44 @@ def _baseline_gseq(prepared: PreparedDesign):
 
 
 class BaseFlow:
-    """Shared plumbing: referee invocation over cached artifacts."""
+    """Shared plumbing: referee invocation over cached artifacts.
+
+    ``referee_backend`` names the referee kernel implementation
+    (``None`` → the :mod:`repro.metrics` registry default); it reaches
+    both :func:`~repro.eval.flow.evaluate_placement` and — for HiDaP
+    flows — the layout cost model.  The referee records its backend
+    and per-metric timings on the returned row's ``eval_counters`` and,
+    when the flow kept run artifacts, merges them into
+    ``RunArtifacts.eval_counters`` for observers.
+    """
 
     name = "base"
 
-    def __init__(self, seed: int = 1, effort=Effort.NORMAL):
+    def __init__(self, seed: int = 1, effort=Effort.NORMAL,
+                 referee_backend: Optional[str] = None):
         self.seed = int(seed)
         self.effort = _coerce_effort(effort)
+        if referee_backend is not None:
+            from repro.metrics import get_backend
+            get_backend(referee_backend)    # fail fast on unknown names
+        self.referee_backend = referee_backend
+        #: RunArtifacts of the flow's last placement run, when the
+        #: underlying placer exposes them (HiDaP flows do).
+        self.artifacts = None
 
     def place(self, prepared: PreparedDesign) -> MacroPlacement:
         raise NotImplementedError
+
+    def _referee(self, prepared: PreparedDesign,
+                 placement: MacroPlacement,
+                 clock_period: float) -> FlowMetrics:
+        """Run the shared referee and surface its counters."""
+        metrics = evaluate_placement(prepared.flat, placement,
+                                     prepared.gseq, clock_period,
+                                     backend=self.referee_backend)
+        if self.artifacts is not None:
+            self.artifacts.eval_counters.update(metrics.eval_counters)
+        return metrics
 
     def evaluate(self, prepared: PreparedDesign,
                  clock_period: Optional[float] = None) -> FlowMetrics:
@@ -60,8 +88,7 @@ class BaseFlow:
             clock_period = default_clock_period(prepared.die_w,
                                                 prepared.die_h)
         placement = self.place(prepared)
-        return evaluate_placement(prepared.flat, placement,
-                                  prepared.gseq, clock_period)
+        return self._referee(prepared, placement, clock_period)
 
 
 class HiDaPFlow(BaseFlow):
@@ -73,10 +100,13 @@ class HiDaPFlow(BaseFlow):
     flow_label = "hidap"
 
     def __init__(self, seed: int = 1, effort=Effort.NORMAL,
-                 lam: float = 0.5, **config_kwargs):
-        super().__init__(seed, effort)
+                 lam: float = 0.5,
+                 referee_backend: Optional[str] = None, **config_kwargs):
+        super().__init__(seed, effort, referee_backend)
         self.config = HiDaPConfig(seed=self.seed, lam=lam,
-                                  effort=self.effort, **config_kwargs)
+                                  effort=self.effort,
+                                  referee_backend=referee_backend,
+                                  **config_kwargs)
 
     def _run_hidap(self, prepared: PreparedDesign,
                    config: HiDaPConfig) -> MacroPlacement:
@@ -86,10 +116,15 @@ class HiDaPFlow(BaseFlow):
         # shareable.
         gseq = (prepared.gseq if config.min_bits == prepared.min_bits
                 else None)
-        return placer.place(prepared.flat, prepared.die_w,
-                            prepared.die_h, flow_name=self.flow_label,
-                            gnet=prepared.gnet, gseq=gseq,
-                            tree=prepared.tree)
+        placement = placer.place(prepared.flat, prepared.die_w,
+                                 prepared.die_h,
+                                 flow_name=self.flow_label,
+                                 gnet=prepared.gnet, gseq=gseq,
+                                 tree=prepared.tree)
+        # Keep the run record so referee counters can join the
+        # pipeline's own eval counters (observer surface).
+        self.artifacts = placer.artifacts
+        return placement
 
     def place(self, prepared: PreparedDesign) -> MacroPlacement:
         return self._run_hidap(prepared, self.config)
@@ -127,8 +162,7 @@ class HiDaPBest3Flow(HiDaPFlow):
             # into the sweep; only λ varies.
             config = dataclasses.replace(self.config, lam=lam)
             placement = self._run_hidap(prepared, config)
-            metrics = evaluate_placement(prepared.flat, placement,
-                                         prepared.gseq, clock_period)
+            metrics = self._referee(prepared, placement, clock_period)
             metrics.lam = lam
             if best is None or metrics.wl_meters < best[0].wl_meters:
                 best = (metrics, placement)
@@ -152,8 +186,9 @@ class IndEDAFlow(BaseFlow):
     name = "indeda"
 
     def __init__(self, seed: int = 1, effort=Effort.NORMAL,
-                 refinement_passes: int = 5):
-        super().__init__(seed, effort)
+                 refinement_passes: int = 5,
+                 referee_backend: Optional[str] = None):
+        super().__init__(seed, effort, referee_backend)
         self.refinement_passes = int(refinement_passes)
 
     def place(self, prepared: PreparedDesign) -> MacroPlacement:
@@ -171,8 +206,9 @@ class HandFPStripFlow(BaseFlow):
     name = "handfp-strip"
 
     def __init__(self, seed: int = 1, effort=Effort.NORMAL,
-                 refinement_passes: int = 8):
-        super().__init__(seed, effort)
+                 refinement_passes: int = 8,
+                 referee_backend: Optional[str] = None):
+        super().__init__(seed, effort, referee_backend)
         self.refinement_passes = int(refinement_passes)
 
     def place(self, prepared: PreparedDesign) -> MacroPlacement:
@@ -211,15 +247,15 @@ class HandFPFlow(HandFPStripFlow):
         for expert_seed, lam in ((self.seed + 101, 0.5),
                                  (self.seed + 202, 0.2)):
             config = HiDaPConfig(seed=expert_seed, lam=lam,
-                                 effort=expert_effort)
+                                 effort=expert_effort,
+                                 referee_backend=self.referee_backend)
             gseq = (prepared.gseq
                     if config.min_bits == prepared.min_bits else None)
             candidate = HiDaP(config).place(
                 prepared.flat, prepared.die_w, prepared.die_h,
                 flow_name="handfp", gnet=prepared.gnet, gseq=gseq,
                 tree=prepared.tree)
-            metrics = evaluate_placement(prepared.flat, candidate,
-                                         prepared.gseq, clock_period)
+            metrics = self._referee(prepared, candidate, clock_period)
             total_time += metrics.placer_seconds
             if metrics.wl_meters < best.wl_meters:
                 best = metrics

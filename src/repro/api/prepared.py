@@ -85,6 +85,18 @@ class PreparedDesign:
             self._tree = build_hierarchy(self.flat)
         return self._tree
 
+    @property
+    def net_arrays(self):
+        """The referee's array-compiled netlist (built once, cached).
+
+        The compile cache lives on the flat design itself
+        (:func:`repro.metrics.net_arrays_for`), so every flow,
+        baseline and suite worker evaluating this prepared design
+        shares one :class:`~repro.metrics.netarrays.NetArrays`.
+        """
+        from repro.metrics import net_arrays_for
+        return net_arrays_for(self.flat)
+
     def info(self) -> str:
         """The suite table's design summary line."""
         text = f"{len(self.flat.cells)} cells, {len(self.flat.macros())} macros"

@@ -82,13 +82,55 @@ def _portable_flow_entries():
     return entries
 
 
-def _init_suite_worker(entries) -> None:
-    """Pool initializer: replay third-party flow registrations."""
+def _portable_backend_entries():
+    """Third-party referee backends + the default name, for workers.
+
+    Like flows, backend registrations live in-process: under
+    spawn/forkserver a worker's ``import repro.metrics`` only recreates
+    the builtin python/numpy backends, so custom backends (and a
+    ``set_default_backend`` override) must be replayed.  Unpicklable
+    backend objects are skipped — they still work under fork.
+    """
+    import pickle
+
+    from repro.metrics import (
+        available_backends,
+        default_backend_name,
+        get_backend,
+    )
+
+    entries = []
+    for name in available_backends():
+        if name in ("python", "numpy"):
+            continue
+        backend = get_backend(name)
+        try:
+            pickle.dumps(backend)
+        except Exception:
+            continue
+        entries.append(backend)
+    # Only replay a default the worker will actually be able to
+    # resolve; an unpicklable custom default degrades to the builtin
+    # default instead of crashing every worker.
+    default = default_backend_name()
+    if default not in {"python", "numpy"} | {b.name for b in entries}:
+        default = None
+    return entries, default
+
+
+def _init_suite_worker(entries, backend_entries=(),
+                       default_backend=None) -> None:
+    """Pool initializer: replay third-party flow/backend registrations."""
     from repro.api.registry import register_flow
+    from repro.metrics import register_backend, set_default_backend
 
     for name, factory, description in entries:
         register_flow(name, factory, description=description,
                       overwrite=True)
+    for backend in backend_entries:
+        register_backend(backend, overwrite=True)
+    if default_backend is not None:
+        set_default_backend(default_backend)
 
 
 def _prepared_for(scale: str, name: str) -> PreparedDesign:
@@ -101,8 +143,10 @@ def _prepared_for(scale: str, name: str) -> PreparedDesign:
 
 
 def _run_one(prepared: PreparedDesign, flow: str, seed: int,
-             effort: Effort) -> "FlowMetrics":
-    metrics = get_flow(flow, seed=seed, effort=effort).evaluate(prepared)
+             effort: Effort,
+             referee_backend: Optional[str] = None) -> "FlowMetrics":
+    metrics = get_flow(flow, seed=seed, effort=effort,
+                       referee_backend=referee_backend).evaluate(prepared)
     # The paper reports every builtin hidap variant simply as "hidap".
     # Match the parsed registry name, not a spec prefix, so that
     # third-party flows named e.g. "hidap-mine" keep their own label.
@@ -113,11 +157,13 @@ def _run_one(prepared: PreparedDesign, flow: str, seed: int,
 
 
 def _suite_task(scale: str, design_name: str, flow: str, seed: int,
-                effort_value: str
+                effort_value: str,
+                referee_backend: Optional[str] = None
                 ) -> Tuple[str, str, "FlowMetrics", str]:
     """One (design, flow) cell, executed inside a pool worker."""
     prepared = _prepared_for(scale, design_name)
-    metrics = _run_one(prepared, flow, seed, Effort(effort_value))
+    metrics = _run_one(prepared, flow, seed, Effort(effort_value),
+                       referee_backend)
     return design_name, flow, metrics, prepared.info()
 
 
@@ -127,12 +173,16 @@ def run_suite(scale: str = "bench",
               seed: int = 1,
               effort: Effort = Effort.NORMAL,
               verbose: bool = False,
-              workers: Optional[int] = None) -> SuiteResult:
+              workers: Optional[int] = None,
+              referee_backend: Optional[str] = None) -> SuiteResult:
     """Run every flow on every (selected) suite design.
 
     ``workers=None`` (or 1) runs serially in-process; ``workers=N``
     fans the (design, flow) pairs over ``N`` worker processes.  Both
     modes produce identical rows in identical order.
+    ``referee_backend`` picks the referee kernels by name for every
+    flow (``None`` → the :mod:`repro.metrics` default); builtin
+    backends are bit-identical, so rows do not depend on the choice.
     """
     from repro.eval.tables import normalize_to_handfp
 
@@ -145,13 +195,15 @@ def run_suite(scale: str = "bench",
 
     if workers is not None and workers > 1 and len(tasks) > 1:
         done: Dict[Tuple[str, str], Tuple["FlowMetrics", str]] = {}
+        backend_entries, default_backend = _portable_backend_entries()
         with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_suite_worker,
-                initargs=(_portable_flow_entries(),)) as pool:
+                initargs=(_portable_flow_entries(), backend_entries,
+                          default_backend)) as pool:
             futures = {
                 pool.submit(_suite_task, scale, name, flow, seed,
-                            effort.value): (name, flow)
+                            effort.value, referee_backend): (name, flow)
                 for name, flow in tasks}
             for future in as_completed(futures):
                 design_name, flow, metrics, info = future.result()
@@ -167,7 +219,8 @@ def run_suite(scale: str = "bench",
             prepared = prepare_design(spec)
             result.design_info[spec.name] = prepared.info()
             for flow in flows:
-                metrics = _run_one(prepared, flow, seed, effort)
+                metrics = _run_one(prepared, flow, seed, effort,
+                                   referee_backend)
                 result.rows.append(metrics)
                 if verbose:
                     print(metrics.row(), flush=True)

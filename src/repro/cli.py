@@ -79,6 +79,8 @@ def cmd_place(args: argparse.Namespace) -> int:
         # Offered to the flow factory; silently dropped for flows
         # whose signature has no lam (e.g. indeda).
         defaults["lam"] = args.lam
+    if args.referee is not None:
+        defaults["referee_backend"] = args.referee
     try:
         placer = get_flow(args.flow, **defaults)
         prepared = PreparedDesign(design=design, die_w=die_w,
@@ -122,6 +124,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
         result = run_suite(scale=args.scale, designs=designs,
                            seed=args.seed, effort=Effort(args.effort),
                            verbose=True, workers=args.workers,
+                           referee_backend=args.referee,
                            **kwargs)
     except FlowError as exc:
         return _fail(f"{exc} (see `hidap flows`)")
@@ -135,12 +138,17 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
 def cmd_flows(args: argparse.Namespace) -> int:
     del args
+    from repro.metrics import available_backends, default_backend_name
+
     print("registered flows:")
     for name, description in flow_descriptions():
         print(f"  {name:14s} {description}")
     print("\nparameterized specs: <name>:key=value,...  "
           "e.g. hidap:lam=0.8")
     print("register your own with repro.api.register_flow(...)")
+    print(f"\nreferee backends: {', '.join(available_backends())} "
+          f"(default: {default_backend_name()}; "
+          "select with --referee or hidap:referee_backend=...)")
     return 0
 
 
@@ -188,6 +196,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--effort", default="normal",
                    choices=("fast", "normal", "high"))
+    p.add_argument("--referee", default=None,
+                   help="referee backend (python|numpy|...; "
+                        "default: numpy — see `hidap flows`)")
     p.add_argument("--die", type=float, nargs=2, default=None,
                    metavar=("W", "H"))
     p.add_argument("--out", default=None, help="placement JSON path")
@@ -206,6 +217,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--effort", default="fast",
                    choices=("fast", "normal", "high"))
+    p.add_argument("--referee", default=None,
+                   help="referee backend for every flow "
+                        "(python|numpy|...; default: numpy)")
     p.add_argument("--workers", type=int, default=None,
                    help="fan (design, flow) pairs over N processes")
     p.set_defaults(func=cmd_suite)

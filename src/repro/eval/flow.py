@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, MutableMapping, Optional
 
 from repro.core.config import Effort
 from repro.core.ports import assign_port_positions
@@ -12,9 +13,7 @@ from repro.gen.spec import GroundTruth
 from repro.hiergraph.gnet import build_gnet
 from repro.hiergraph.gseq import build_gseq
 from repro.netlist.flatten import FlatDesign
-from repro.placement.hpwl import hpwl_report
 from repro.placement.stdcell import PlacerConfig, place_cells
-from repro.routing.congestion import estimate_congestion
 from repro.timing.sta import analyze_timing
 
 #: The λ values the paper sweeps for HiDaP ("best WL of three").
@@ -35,6 +34,10 @@ class FlowMetrics:
     wl_norm: float = 0.0          # vs handFP; filled by the suite runner
     macro_overlap: float = 0.0
     lam: Optional[float] = None   # λ actually used (HiDaP flows)
+    #: Referee observability: ``referee_backend`` plus per-metric
+    #: ``referee_*_us`` wall-clock counters (see
+    #: :func:`evaluate_placement`); empty on rows built by hand.
+    eval_counters: Dict[str, Any] = field(default_factory=dict)
 
     def row(self) -> str:
         return (f"{self.design:4s} {self.flow:8s} "
@@ -45,21 +48,62 @@ class FlowMetrics:
 
 def evaluate_placement(flat: FlatDesign, placement: MacroPlacement,
                        gseq=None, clock_period: Optional[float] = None,
-                       placer_config: Optional[PlacerConfig] = None
+                       placer_config: Optional[PlacerConfig] = None,
+                       backend: Optional[str] = None,
+                       counters: Optional[MutableMapping[str, Any]] = None
                        ) -> FlowMetrics:
-    """The shared referee: cell placement + WL + congestion + timing."""
+    """The shared referee: cell placement + WL + congestion + timing.
+
+    ``backend`` selects the referee backend by name (``None`` → the
+    :mod:`repro.metrics` registry default, normally ``numpy``); array
+    backends pull the compiled :class:`~repro.metrics.netarrays.NetArrays`
+    from the per-design cache, so repeated evaluations share one
+    compile.  When ``counters`` is given, the backend name and
+    per-metric wall-clock (``referee_stdcell_us``, ``referee_hpwl_us``,
+    ``referee_congestion_us``, ``referee_timing_us``, integer
+    microseconds) are recorded into it; the same record lands on the
+    returned row's ``eval_counters``.
+    """
+    from repro.metrics import get_backend, locate_endpoints, net_arrays_for
+
     die = placement.die
     port_positions = assign_port_positions(flat.design, die)
     if gseq is None:
         gseq = build_gseq(build_gnet(flat), flat)
 
-    cells = place_cells(flat, placement, port_positions,
-                        config=placer_config)
-    wl = hpwl_report(flat, placement, cells, port_positions)
-    congestion = estimate_congestion(flat, placement, cells,
-                                     port_positions)
-    timing = analyze_timing(flat, gseq, placement, cells, port_positions,
-                            clock_period=clock_period)
+    resolved = get_backend(backend)
+    arrays = net_arrays_for(flat) if resolved.uses_net_arrays else None
+    counters = counters if counters is not None else {}
+    counters["referee_backend"] = resolved.name
+
+    def timed(key, fn):
+        start = time.perf_counter()
+        result = fn()
+        counters[key] = counters.get(key, 0) + int(
+            1e6 * (time.perf_counter() - start))
+        return result
+
+    cells = timed("referee_stdcell_us",
+                  lambda: place_cells(flat, placement, port_positions,
+                                      config=placer_config))
+    # Locate every endpoint once; both array kernels share the result.
+    coords = (timed("referee_locate_us",
+                    lambda: locate_endpoints(arrays, placement, cells,
+                                             port_positions))
+              if arrays is not None else None)
+    wl = timed("referee_hpwl_us",
+               lambda: resolved.hpwl(flat, placement, cells,
+                                     port_positions, arrays=arrays,
+                                     coords=coords))
+    congestion = timed("referee_congestion_us",
+                       lambda: resolved.congestion(flat, placement, cells,
+                                                   port_positions,
+                                                   arrays=arrays,
+                                                   coords=coords))
+    timing = timed("referee_timing_us",
+                   lambda: analyze_timing(flat, gseq, placement, cells,
+                                          port_positions,
+                                          clock_period=clock_period))
     return FlowMetrics(
         design=flat.design.name,
         flow=placement.flow_name,
@@ -68,14 +112,16 @@ def evaluate_placement(flat: FlatDesign, placement: MacroPlacement,
         wns_percent=timing.wns_percent,
         tns=timing.tns,
         placer_seconds=placement.runtime_seconds,
-        macro_overlap=placement.macro_overlap_area())
+        macro_overlap=placement.macro_overlap_area(),
+        eval_counters=dict(counters))
 
 
 def run_flow(flat: FlatDesign, truth: Optional[GroundTruth],
              flow: str, die_w: float, die_h: float, seed: int = 1,
              effort: Effort = Effort.NORMAL,
              clock_period: Optional[float] = None,
-             gseq=None) -> FlowMetrics:
+             gseq=None,
+             referee_backend: Optional[str] = None) -> FlowMetrics:
     """Place with ``flow`` and evaluate with the shared referee.
 
     A thin shim over the flow registry (:mod:`repro.api.registry`):
@@ -83,12 +129,14 @@ def run_flow(flat: FlatDesign, truth: Optional[GroundTruth],
     ``indeda``, ``handfp``, ``hidap`` (λ=0.5), ``hidap:lam=<λ>``,
     ``hidap-best3`` (the paper's best-WL-of-three protocol), a flow
     you registered yourself... — with the legacy ``hidap-l<λ>``
-    spelling still accepted.
+    spelling still accepted.  ``referee_backend`` picks the referee
+    kernels by name (``None`` → the registry default).
     """
     from repro.api import get_flow
     from repro.api.prepared import PreparedDesign
 
     prepared = PreparedDesign.from_flat(flat, die_w=die_w, die_h=die_h,
                                         truth=truth, gseq=gseq)
-    placer = get_flow(flow, seed=seed, effort=effort)
+    placer = get_flow(flow, seed=seed, effort=effort,
+                      referee_backend=referee_backend)
     return placer.evaluate(prepared, clock_period=clock_period)

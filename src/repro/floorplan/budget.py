@@ -44,6 +44,11 @@ class BudgetReport:
     macro_deficit: float = 0.0     # macros do not fit (relative shortfall)
     repairs: int = 0               # how many sibling area moves happened
     leaf_rects: Dict[int, Rect] = field(default_factory=dict)
+    #: ``block -> (cx, cy)`` rectangle centers, carried from the cached
+    #: sub-layouts so the cost model's distance term does not recompute
+    #: them per evaluation.  Values equal ``leaf_rects[b].center``.
+    leaf_centers: Dict[int, Tuple[float, float]] = field(
+        default_factory=dict)
 
     @property
     def is_legal(self) -> bool:
@@ -58,11 +63,15 @@ class SubLayout:
     tuples list per-node deficit contributions, both in depth-first
     (parent, left, right) order — the exact order the historical
     recursive accumulator produced them in, which is what keeps cached
-    folds bit-identical to full evaluation.  ``nodes`` counts the
-    slicing-tree nodes in the subtree (for cache-saving accounting).
+    folds bit-identical to full evaluation.  ``centers`` caches each
+    leaf rectangle's ``(block, cx, cy)`` center so repeated cost
+    evaluations (and the distance kernel) never recompute it.
+    ``nodes`` counts the slicing-tree nodes in the subtree (for
+    cache-saving accounting).
     """
 
     rects: Tuple[Tuple[int, Rect], ...]
+    centers: Tuple[Tuple[int, float, float], ...]
     target_contribs: Tuple[float, ...]
     min_contribs: Tuple[float, ...]
     macro_contribs: Tuple[float, ...]
@@ -162,6 +171,8 @@ def _leaf_layout(node: SlicingNode, rect: Rect,
     target, minimum = _area_violation(node, rect.area)
     return SubLayout(
         rects=((node.block, rect),),
+        centers=((node.block, rect.x + rect.w / 2.0,
+                  rect.y + rect.h / 2.0),),
         target_contribs=(target,) if target else (),
         min_contribs=(minimum,) if minimum else (),
         macro_contribs=macro,
@@ -234,6 +245,7 @@ def _expand(node: SlicingNode, rect: Rect, blocks: List[Block],
         right = _expand(node.right, right_rect, blocks, cache)
         sub = SubLayout(
             rects=left.rects + right.rects,
+            centers=left.centers + right.centers,
             target_contribs=left.target_contribs + right.target_contribs,
             min_contribs=left.min_contribs + right.min_contribs,
             macro_contribs=(own_macro + left.macro_contribs
@@ -273,4 +285,6 @@ def budgeted_layout(root: SlicingNode, region: Rect, blocks: List[Block],
         min_deficit=sum(sub.min_contribs),
         macro_deficit=sum(sub.macro_contribs),
         repairs=sub.repairs,
-        leaf_rects=dict(sub.rects))
+        leaf_rects=dict(sub.rects),
+        leaf_centers={block: (cx, cy)
+                      for block, cx, cy in sub.centers})

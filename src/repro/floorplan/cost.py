@@ -50,15 +50,23 @@ class CostModel:
     scale:
         A reference length; the distance term is divided by it so costs
         are comparable across die sizes (penalties stay scale-free).
+    backend:
+        Referee backend name for the affinity-distance kernel
+        (``None`` → the :mod:`repro.metrics` registry default).  Every
+        backend returns the same bits, so this is a speed knob only.
     """
 
     def __init__(self, blocks: List[Block], terminals: List[Terminal],
                  affinity: Sequence[Sequence[float]],
-                 weights: CostWeights = None, scale: float = 1.0):
+                 weights: CostWeights = None, scale: float = 1.0,
+                 backend: str = None):
         self.blocks = blocks
         self.terminals = terminals
         self.weights = weights or CostWeights()
         self.scale = max(scale, 1e-12)
+        self.backend = backend
+        self._pairs = None          # lazy metrics.AffinityPairs
+        self._kernel = None         # backend resolved once, on first use
         n = len(blocks)
         size = n + len(terminals)
         if len(affinity) != size:
@@ -80,14 +88,41 @@ class CostModel:
 
     # -- pieces ------------------------------------------------------------
 
-    def distance_term(self, rects: Dict[int, Rect]) -> float:
-        """Affinity-weighted sum of Manhattan center distances."""
-        total = 0.0
-        centers = {i: r.center for i, r in rects.items()}
-        for i, j, a in self.block_pairs:
-            total += a * centers[i].manhattan(centers[j])
-        for i, t, a in self.terminal_pairs:
-            total += a * centers[i].manhattan(self._terminal_pos[t])
+    def _affinity_pairs(self):
+        """The distance kernel's compiled pair view (built once)."""
+        if self._pairs is None:
+            from repro.metrics import AffinityPairs
+
+            terminal_pairs = []
+            for i, t, a in self.terminal_pairs:
+                pos = self._terminal_pos[t]
+                terminal_pairs.append((i, (pos.x, pos.y), a))
+            self._pairs = AffinityPairs(self.block_pairs, terminal_pairs)
+        return self._pairs
+
+    def distance_term(self, rects: Dict[int, Rect],
+                      centers: Dict[int, Tuple[float, float]] = None
+                      ) -> float:
+        """Affinity-weighted sum of Manhattan center distances.
+
+        ``centers`` optionally passes pre-computed ``(cx, cy)`` block
+        centers (e.g. the ones cached on budgeted sub-layouts) so the
+        evaluation skips recomputing every rectangle center; values
+        must equal ``rect.center`` of the corresponding rectangle.  The
+        sum is delegated to the configured referee backend — all
+        backends reduce sequentially in pair order, so the result is
+        bit-identical to the historical Python accumulator.  The
+        backend is resolved once, on the first evaluation (this sits in
+        the annealing hot loop).
+        """
+        if self._kernel is None:
+            from repro.metrics import get_backend
+            self._kernel = get_backend(self.backend)
+        if centers is None:
+            centers = {i: (r.x + r.w / 2.0, r.y + r.h / 2.0)
+                       for i, r in rects.items()}
+        total = self._kernel.affinity_distance(self._affinity_pairs(),
+                                               centers)
         return total / self.scale
 
     def penalty(self, report: BudgetReport) -> float:
@@ -98,8 +133,14 @@ class CostModel:
                 + w.macro_area * report.macro_deficit)
 
     def cost(self, report: BudgetReport) -> float:
-        """The paper's objective for one budgeted layout."""
-        term = self.distance_term(report.leaf_rects)
+        """The paper's objective for one budgeted layout.
+
+        Uses the centers cached on the report's sub-layouts (when the
+        report carries them) instead of recomputing every rectangle
+        center per evaluation.
+        """
+        term = self.distance_term(report.leaf_rects,
+                                  centers=report.leaf_centers or None)
         return self.penalty(report) * (term + self.weights.epsilon)
 
     def total_affinity(self) -> float:

@@ -77,6 +77,10 @@ class LayoutConfig:
     #: between cost evaluations.  Bit-identical to full re-evaluation
     #: under a fixed seed; disable only to cross-check that claim.
     incremental: bool = True
+    #: Referee backend for the cost model's affinity-distance kernel
+    #: (``None`` → the :mod:`repro.metrics` registry default).  All
+    #: backends are bit-identical; this is a speed knob only.
+    metrics_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.anneal is None:
@@ -210,7 +214,8 @@ def _result_from(report: BudgetReport, model: CostModel,
     return LayoutResult(
         rects=dict(report.leaf_rects), report=report,
         cost=model.cost(report), penalty=model.penalty(report),
-        distance_term=model.distance_term(report.leaf_rects),
+        distance_term=model.distance_term(
+            report.leaf_rects, centers=report.leaf_centers or None),
         expression=expr, stats=stats)
 
 
@@ -220,7 +225,8 @@ def generate_layout(problem: LayoutProblem,
     config = config or LayoutConfig()
     scale = max(problem.region.w + problem.region.h, 1e-12)
     model = CostModel(problem.blocks, problem.terminals, problem.affinity,
-                      config.weights, scale=scale)
+                      config.weights, scale=scale,
+                      backend=config.metrics_backend)
 
     stats = EvalStats()
     final_eval = LayoutEvaluator(problem, model, config.final_curve_limit,

@@ -1,0 +1,66 @@
+"""Vectorized referee subsystem: array-compiled netlists + kernels.
+
+This package turns the evaluation referee from per-net Python loops
+into batched array kernels:
+
+* :mod:`repro.metrics.netarrays` compiles a
+  :class:`~repro.netlist.flatten.FlatDesign` into flat CSR-style NumPy
+  columns (:class:`NetArrays`), built once per design and cached on the
+  flat design itself (shared by every flow, baseline and suite worker).
+* :mod:`repro.metrics.backends` keeps the backend registry: the
+  ``python`` reference loops (the equivalence oracle) and the
+  ``numpy`` default, plus :func:`register_backend` for third-party
+  implementations.
+* :mod:`repro.metrics.numpy_backend` holds the three batched kernels
+  (segmented HPWL, congestion rasterization, affinity-pair distances),
+  bit-identical to the reference loops by construction.
+
+Selecting a backend::
+
+    hidap suite --referee python            # CLI
+    run_suite(referee_backend="python")    # API
+    HiDaPConfig(referee_backend="python")  # flow config / flow spec
+    hidap place c1 --flow hidap:referee_backend=python
+
+``evaluate_placement(..., backend="...")`` and
+``CostModel(..., backend="...")`` accept the same names directly.
+"""
+
+from repro.metrics.backends import (
+    AffinityPairs,
+    MetricsBackendError,
+    PythonBackend,
+    RefereeBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
+from repro.metrics.netarrays import (
+    NetArrays,
+    compile_net_arrays,
+    locate_endpoints,
+    net_arrays_for,
+)
+from repro.metrics.numpy_backend import NumpyBackend
+
+register_backend(PythonBackend(), overwrite=True)
+register_backend(NumpyBackend(), overwrite=True)
+
+__all__ = [
+    "AffinityPairs",
+    "MetricsBackendError",
+    "NetArrays",
+    "NumpyBackend",
+    "PythonBackend",
+    "RefereeBackend",
+    "available_backends",
+    "compile_net_arrays",
+    "default_backend_name",
+    "get_backend",
+    "locate_endpoints",
+    "net_arrays_for",
+    "register_backend",
+    "set_default_backend",
+]

@@ -1,0 +1,215 @@
+"""The referee backend registry.
+
+A *referee backend* owns the three batched evaluation kernels — HPWL,
+congestion and the affinity-pair distance term — behind one small
+interface, so the referee (:func:`repro.eval.flow.evaluate_placement`),
+the layout cost model (:class:`repro.floorplan.cost.CostModel`) and the
+CLI can switch implementations with a name:
+
+* ``"python"`` — the reference per-net loops the repo started with,
+  kept as the equivalence oracle;
+* ``"numpy"`` — batched array kernels over the compiled
+  :class:`~repro.metrics.netarrays.NetArrays` (the default).
+
+Both backends produce bit-identical metric values: the NumPy kernels
+replicate the reference IEEE expressions elementwise and reduce with
+sequential accumulation (``cumsum``) in the reference visit order, so
+switching backends never perturbs annealing decisions or table rows.
+Third parties may register their own backend (e.g. a GPU
+implementation) with :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.result import MacroPlacement
+    from repro.geometry.rect import Point
+    from repro.metrics.netarrays import NetArrays
+    from repro.netlist.flatten import FlatDesign
+    from repro.placement.hpwl import HpwlReport
+    from repro.placement.stdcell import CellPlacement
+    from repro.routing.congestion import CongestionReport
+
+
+class MetricsBackendError(ValueError):
+    """An unknown or unusable referee backend was requested."""
+
+
+class RefereeBackend:
+    """One implementation of the three referee kernels.
+
+    ``name`` identifies the backend in configs/CLI flags;
+    ``uses_net_arrays`` tells callers whether to compile (and pass) the
+    shared :class:`~repro.metrics.netarrays.NetArrays`.  ``coords``
+    optionally hands both kernels one shared
+    :func:`~repro.metrics.netarrays.locate_endpoints` result so a
+    caller evaluating several metrics on the same placement (the
+    referee) locates every endpoint once; backends that do not consume
+    net arrays ignore it.
+    """
+
+    name = "base"
+    uses_net_arrays = False
+
+    def hpwl(self, flat: "FlatDesign", placement: "MacroPlacement",
+             cells: "CellPlacement", port_positions: Dict[str, "Point"],
+             arrays: Optional["NetArrays"] = None,
+             coords=None) -> "HpwlReport":
+        raise NotImplementedError
+
+    def congestion(self, flat: "FlatDesign", placement: "MacroPlacement",
+                   cells: "CellPlacement",
+                   port_positions: Dict[str, "Point"], bins: int = 32,
+                   arrays: Optional["NetArrays"] = None,
+                   coords=None) -> "CongestionReport":
+        raise NotImplementedError
+
+    def affinity_distance(self, pairs: "AffinityPairs",
+                          centers: Dict[int, Tuple[float, float]]) -> float:
+        """Unscaled ``sum(a * manhattan)`` over the compiled pairs."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<RefereeBackend {self.name!r}>"
+
+
+class AffinityPairs:
+    """The distance kernel's compiled view of a cost model's pairs.
+
+    ``block_pairs`` are ``(i, j, a)`` with both ends movable;
+    ``terminal_pairs`` are ``(i, (tx, ty), a)`` with a fixed end.  Kept
+    in the cost model's historical iteration order so sequential
+    reduction matches the reference accumulator bit for bit.  NumPy
+    column views are materialized lazily on first use.
+    """
+
+    __slots__ = ("block_pairs", "terminal_pairs", "_columns",
+                 "_required")
+
+    def __init__(self,
+                 block_pairs: List[Tuple[int, int, float]],
+                 terminal_pairs: List[Tuple[int, Tuple[float, float],
+                                            float]]):
+        self.block_pairs = block_pairs
+        self.terminal_pairs = terminal_pairs
+        self._columns = None
+        self._required = None
+
+    def __len__(self) -> int:
+        return len(self.block_pairs) + len(self.terminal_pairs)
+
+    def required_indices(self) -> Tuple[int, ...]:
+        """Every block index the pairs reference (sorted, deduped).
+
+        Kernels look these up in the caller's ``centers`` mapping, so a
+        missing index raises ``KeyError`` on every backend alike.
+        """
+        if self._required is None:
+            indices = {i for i, _j, _a in self.block_pairs}
+            indices.update(j for _i, j, _a in self.block_pairs)
+            indices.update(i for i, _pos, _a in self.terminal_pairs)
+            self._required = tuple(sorted(indices))
+        return self._required
+
+    def columns(self):
+        """``(bi, bj, ba, ti, tx, ty, ta)`` int64/float64 arrays."""
+        if self._columns is None:
+            import numpy as np
+
+            bi = np.array([p[0] for p in self.block_pairs], dtype=np.int64)
+            bj = np.array([p[1] for p in self.block_pairs], dtype=np.int64)
+            ba = np.array([p[2] for p in self.block_pairs],
+                          dtype=np.float64)
+            ti = np.array([p[0] for p in self.terminal_pairs],
+                          dtype=np.int64)
+            tx = np.array([p[1][0] for p in self.terminal_pairs],
+                          dtype=np.float64)
+            ty = np.array([p[1][1] for p in self.terminal_pairs],
+                          dtype=np.float64)
+            ta = np.array([p[2] for p in self.terminal_pairs],
+                          dtype=np.float64)
+            self._columns = (bi, bj, ba, ti, tx, ty, ta)
+        return self._columns
+
+
+class PythonBackend(RefereeBackend):
+    """The reference per-net loops (the repo's original referee)."""
+
+    name = "python"
+    uses_net_arrays = False
+
+    def hpwl(self, flat, placement, cells, port_positions, arrays=None,
+             coords=None):
+        from repro.placement.hpwl import hpwl_reference
+        return hpwl_reference(flat, placement, cells, port_positions)
+
+    def congestion(self, flat, placement, cells, port_positions,
+                   bins=32, arrays=None, coords=None):
+        from repro.routing.congestion import congestion_reference
+        return congestion_reference(flat, placement, cells,
+                                    port_positions, bins=bins)
+
+    def affinity_distance(self, pairs, centers):
+        total = 0.0
+        for i, j, a in pairs.block_pairs:
+            cxi, cyi = centers[i]
+            cxj, cyj = centers[j]
+            total += a * (abs(cxi - cxj) + abs(cyi - cyj))
+        for i, (tx, ty), a in pairs.terminal_pairs:
+            cxi, cyi = centers[i]
+            total += a * (abs(cxi - tx) + abs(cyi - ty))
+        return total
+
+
+_BACKENDS: Dict[str, RefereeBackend] = {}
+_DEFAULT: Optional[str] = None
+
+
+def register_backend(backend: RefereeBackend, *,
+                     overwrite: bool = False) -> None:
+    """Register ``backend`` under ``backend.name``."""
+    name = backend.name
+    if not name or name == "base":
+        raise MetricsBackendError(
+            f"backend needs a distinctive name, got {name!r}")
+    if name in _BACKENDS and not overwrite:
+        raise MetricsBackendError(
+            f"referee backend {name!r} already registered "
+            "(pass overwrite=True to replace)")
+    _BACKENDS[name] = backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted names of every registered referee backend."""
+    return tuple(sorted(_BACKENDS))
+
+
+def set_default_backend(name: str) -> None:
+    """Make ``name`` the process-wide default referee backend."""
+    global _DEFAULT
+    if name not in _BACKENDS:
+        raise MetricsBackendError(
+            f"unknown referee backend {name!r}; "
+            f"available: {', '.join(available_backends())}")
+    _DEFAULT = name
+
+
+def default_backend_name() -> str:
+    """The current default backend name (``numpy`` unless overridden)."""
+    return _DEFAULT if _DEFAULT is not None else "numpy"
+
+
+def get_backend(name: Optional[str] = None) -> RefereeBackend:
+    """Resolve a backend by name (``None`` → the default backend)."""
+    if isinstance(name, RefereeBackend):
+        return name
+    if name is None:
+        name = default_backend_name()
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        raise MetricsBackendError(
+            f"unknown referee backend {name!r}; "
+            f"available: {', '.join(available_backends()) or '<none>'}")
+    return backend

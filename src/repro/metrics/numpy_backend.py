@@ -1,0 +1,142 @@
+"""Batched NumPy referee kernels over compiled :class:`NetArrays`.
+
+Each kernel is engineered to be *bit-identical* to its Python
+reference loop, not merely close:
+
+* elementwise arithmetic replicates the reference IEEE expressions
+  (same operands, same order), so every per-net / per-pair term matches
+  exactly;
+* scalar accumulators are replaced by ``cumsum`` (``np.add.accumulate``),
+  which reduces sequentially in the reference visit order — unlike
+  ``np.sum``'s pairwise tree — so totals match bit for bit;
+* congestion demand weights are exact binary fractions (halves), so
+  scatter-order differences cannot round.
+
+That property is what lets the ``numpy`` backend be the default
+without perturbing annealing trajectories or historical table rows;
+``tests/test_metrics_equivalence.py`` enforces it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.backends import RefereeBackend
+from repro.metrics.netarrays import locate_endpoints, net_arrays_for
+
+#: Below this pair count the distance kernel's array overhead beats the
+#: loop; fall back to the reference implementation (identical result).
+_MIN_VECTOR_PAIRS = 32
+
+
+def _sequential_sum(values: np.ndarray) -> float:
+    """Left-to-right float64 sum, bit-identical to a Python ``+=`` loop."""
+    if values.size == 0:
+        return 0.0
+    return float(np.add.accumulate(values)[-1])
+
+
+class NumpyBackend(RefereeBackend):
+    """Array-compiled referee: segmented HPWL, rasterized congestion,
+    gathered affinity distances."""
+
+    name = "numpy"
+    uses_net_arrays = True
+
+    # -- HPWL ---------------------------------------------------------------
+
+    def hpwl(self, flat, placement, cells, port_positions, arrays=None,
+             coords=None):
+        from repro.placement.hpwl import HpwlReport
+
+        arrays = arrays if arrays is not None else net_arrays_for(flat)
+        if arrays.n_nets == 0:
+            return HpwlReport(total_units=0.0, n_nets=0,
+                              macro_net_units=0.0)
+        x, y, located, macro_located = (
+            coords if coords is not None
+            else locate_endpoints(arrays, placement, cells,
+                                  port_positions))
+
+        # One sentinel row keeps every CSR offset a valid reduceat
+        # index (degenerate trailing nets have offset == n_rows); the
+        # sentinel is the reduction identity for each column.
+        starts = arrays.net_offsets[:-1]
+        x_min = np.minimum.reduceat(
+            np.append(np.where(located, x, np.inf), np.inf), starts)
+        x_max = np.maximum.reduceat(
+            np.append(np.where(located, x, -np.inf), -np.inf), starts)
+        y_min = np.minimum.reduceat(
+            np.append(np.where(located, y, np.inf), np.inf), starts)
+        y_max = np.maximum.reduceat(
+            np.append(np.where(located, y, -np.inf), -np.inf), starts)
+        counts = np.add.reduceat(
+            np.append(located, False).astype(np.int64), starts)
+        macro_hits = np.add.reduceat(
+            np.append(macro_located, False).astype(np.int64), starts)
+
+        # reduceat maps an empty CSR span to the element at its start
+        # offset; such nets have zero *own* rows, so their located
+        # count can only see a neighbouring row — always < 2, and the
+        # validity mask drops them (the degenerate-net guard).
+        spans = np.diff(arrays.net_offsets)
+        valid = (counts >= 2) & (spans > 0)
+        with np.errstate(invalid="ignore"):
+            lengths = (x_max - x_min) + (y_max - y_min)
+        total = _sequential_sum(lengths[valid])
+        macro_total = _sequential_sum(lengths[valid & (macro_hits > 0)])
+        return HpwlReport(total_units=total, n_nets=int(valid.sum()),
+                          macro_net_units=macro_total)
+
+    # -- congestion ---------------------------------------------------------
+
+    def congestion(self, flat, placement, cells, port_positions,
+                   bins=32, arrays=None, coords=None):
+        from repro.routing.congestion import congestion_report_from
+        from repro.routing.grid import RoutingGrid
+
+        arrays = arrays if arrays is not None else net_arrays_for(flat)
+        grid = RoutingGrid.build(placement.die,
+                                 (m.rect for m in placement.macros.values()),
+                                 bins=bins)
+        x, y, located, _ = (
+            coords if coords is not None
+            else locate_endpoints(arrays, placement, cells,
+                                  port_positions))
+        x = x[located]
+        y = y[located]
+        net = arrays.net_of_row[located]
+        if x.size:
+            # The reference chains each net's points in (x, y) order;
+            # lexsort by (net, x, y), then every consecutive same-net
+            # pair is one 2-pin chain segment.
+            order = np.lexsort((y, x, net))
+            x, y, net = x[order], y[order], net[order]
+            same = net[1:] == net[:-1]
+            grid.add_l_routes(x[:-1][same], y[:-1][same],
+                              x[1:][same], y[1:][same], weight=1.0)
+        return congestion_report_from(grid)
+
+    # -- affinity distance --------------------------------------------------
+
+    def affinity_distance(self, pairs, centers):
+        if len(pairs) < _MIN_VECTOR_PAIRS:
+            # Identical value (see module docstring); the loop is
+            # faster than array setup at this size.
+            from repro.metrics.backends import PythonBackend
+            return PythonBackend.affinity_distance(self, pairs, centers)
+        bi, bj, ba, ti, tx, ty, ta = pairs.columns()
+        required = pairs.required_indices()
+        n = required[-1] + 1 if required else 0
+        cx = np.zeros(n)
+        cy = np.zeros(n)
+        # Indexing ``centers`` (not iterating it) keeps the oracle's
+        # contract: a referenced block without a center is a KeyError,
+        # never a silent (0, 0).
+        for index in required:
+            cx[index], cy[index] = centers[index]
+        block_terms = ba * (np.abs(cx[bi] - cx[bj])
+                            + np.abs(cy[bi] - cy[bj]))
+        terminal_terms = ta * (np.abs(cx[ti] - tx) + np.abs(cy[ti] - ty))
+        return _sequential_sum(np.concatenate([block_terms,
+                                               terminal_terms]))

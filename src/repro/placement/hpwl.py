@@ -4,12 +4,19 @@ The paper reports wirelength in meters after cell placement.  We keep
 abstract site units internally and convert with a nominal 1 unit = 1 µm
 so tables read in familiar magnitudes; all comparisons are ratios, so
 the conversion constant is cosmetic.
+
+:func:`hpwl_report` dispatches through the referee backend registry
+(:mod:`repro.metrics`): the ``numpy`` default runs the batched
+segmented-min/max kernel over compiled
+:class:`~repro.metrics.netarrays.NetArrays`; :func:`hpwl_reference`
+keeps the original per-net loop as the ``python`` oracle.  Both return
+bit-identical reports.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.result import MacroPlacement
 from repro.geometry.rect import Point
@@ -37,8 +44,27 @@ class HpwlReport:
 
 def hpwl_report(flat: FlatDesign, placement: MacroPlacement,
                 cells: CellPlacement,
-                port_positions: Dict[str, Point]) -> HpwlReport:
-    """HPWL over every flat bit net with at least two located endpoints."""
+                port_positions: Dict[str, Point],
+                backend: Optional[str] = None,
+                arrays=None) -> HpwlReport:
+    """HPWL over every flat bit net with at least two located endpoints.
+
+    ``backend`` selects a referee backend by name (``None`` → the
+    registry default, normally ``numpy``); ``arrays`` optionally passes
+    pre-compiled :class:`~repro.metrics.netarrays.NetArrays` to skip
+    the per-design compile cache lookup.
+    """
+    from repro.metrics import get_backend
+
+    resolved = get_backend(backend)
+    return resolved.hpwl(flat, placement, cells, port_positions,
+                         arrays=arrays)
+
+
+def hpwl_reference(flat: FlatDesign, placement: MacroPlacement,
+                   cells: CellPlacement,
+                   port_positions: Dict[str, Point]) -> HpwlReport:
+    """The per-net reference loop (the ``python`` backend's kernel)."""
     total = 0.0
     macro_total = 0.0
     n_nets = 0

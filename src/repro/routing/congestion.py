@@ -1,9 +1,20 @@
-"""Probabilistic global routing and the GRC% congestion metric."""
+"""Probabilistic global routing and the GRC% congestion metric.
+
+:func:`estimate_congestion` dispatches through the referee backend
+registry (:mod:`repro.metrics`): the ``numpy`` default locates every
+endpoint from compiled :class:`~repro.metrics.netarrays.NetArrays` and
+rasterizes all chain segments onto the
+:class:`~repro.routing.grid.RoutingGrid` in one vectorized pass
+(:meth:`~repro.routing.grid.RoutingGrid.add_l_routes`);
+:func:`congestion_reference` keeps the original per-net loop as the
+``python`` oracle.  Demand weights are exact halves, so both backends
+fill bit-identical demand rasters.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.result import MacroPlacement
 from repro.geometry.rect import Point
@@ -23,6 +34,15 @@ class CongestionReport:
     def __repr__(self) -> str:
         return (f"CongestionReport(GRC={self.grc_percent:.2f}%, "
                 f"hot={100 * self.hot_fraction:.1f}% gcells)")
+
+
+def congestion_report_from(grid: RoutingGrid) -> CongestionReport:
+    """Summarize an already-filled demand raster (shared by backends)."""
+    capacity = max(grid.capacity_total(), 1e-12)
+    return CongestionReport(
+        grc_percent=100.0 * grid.overflow_total() / capacity,
+        hot_fraction=grid.overflowed_gcell_fraction(),
+        grid=grid)
 
 
 def _net_points(flat: FlatDesign, net, placement: MacroPlacement,
@@ -49,13 +69,32 @@ def _net_points(flat: FlatDesign, net, placement: MacroPlacement,
 def estimate_congestion(flat: FlatDesign, placement: MacroPlacement,
                         cells: CellPlacement,
                         port_positions: Dict[str, Point],
-                        bins: int = 32) -> CongestionReport:
+                        bins: int = 32,
+                        backend: Optional[str] = None,
+                        arrays=None) -> CongestionReport:
     """Route every net probabilistically and report overflow.
 
     Multi-pin nets are decomposed into a chain over the x-sorted pins (a
     cheap Steiner surrogate); each 2-pin segment spreads demand over its
-    two L routes.
+    two L routes.  Nets with fewer than two located endpoints are
+    skipped (the degenerate-net guard shared by every backend).
+
+    ``backend`` selects a referee backend by name (``None`` → the
+    registry default, normally ``numpy``); ``arrays`` optionally passes
+    pre-compiled :class:`~repro.metrics.netarrays.NetArrays`.
     """
+    from repro.metrics import get_backend
+
+    resolved = get_backend(backend)
+    return resolved.congestion(flat, placement, cells, port_positions,
+                               bins=bins, arrays=arrays)
+
+
+def congestion_reference(flat: FlatDesign, placement: MacroPlacement,
+                         cells: CellPlacement,
+                         port_positions: Dict[str, Point],
+                         bins: int = 32) -> CongestionReport:
+    """The per-net reference loop (the ``python`` backend's kernel)."""
     grid = RoutingGrid.build(placement.die,
                              (m.rect for m in placement.macros.values()),
                              bins=bins)
@@ -66,9 +105,4 @@ def estimate_congestion(flat: FlatDesign, placement: MacroPlacement,
         points.sort(key=lambda p: (p.x, p.y))
         for a, b in zip(points, points[1:]):
             grid.add_l_route(a.x, a.y, b.x, b.y, 1.0)
-
-    capacity = max(grid.capacity_total(), 1e-12)
-    return CongestionReport(
-        grc_percent=100.0 * grid.overflow_total() / capacity,
-        hot_fraction=grid.overflowed_gcell_fraction(),
-        grid=grid)
+    return congestion_report_from(grid)

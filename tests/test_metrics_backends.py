@@ -1,0 +1,146 @@
+"""Tests for the referee backend registry, selection and observability."""
+
+import pytest
+
+from repro.api import FlowError, get_flow
+from repro.core.config import HiDaPConfig
+from repro.eval.flow import evaluate_placement
+from repro.metrics import (
+    MetricsBackendError,
+    PythonBackend,
+    RefereeBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
+from repro.metrics.backends import _BACKENDS
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "python" in available_backends()
+        assert "numpy" in available_backends()
+
+    def test_default_is_numpy(self):
+        assert default_backend_name() == "numpy"
+        assert get_backend().name == "numpy"
+        assert get_backend(None).name == "numpy"
+
+    def test_get_by_name(self):
+        assert get_backend("python").name == "python"
+        assert isinstance(get_backend("python"), PythonBackend)
+
+    def test_backend_instances_pass_through(self):
+        backend = PythonBackend()
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(MetricsBackendError, match="unknown referee"):
+            get_backend("gpu-someday")
+
+    def test_register_custom_and_overwrite_guard(self):
+        class Custom(PythonBackend):
+            name = "custom-test"
+
+        try:
+            register_backend(Custom())
+            assert "custom-test" in available_backends()
+            with pytest.raises(MetricsBackendError, match="already"):
+                register_backend(Custom())
+            register_backend(Custom(), overwrite=True)
+        finally:
+            _BACKENDS.pop("custom-test", None)
+
+    def test_register_rejects_base_name(self):
+        with pytest.raises(MetricsBackendError):
+            register_backend(RefereeBackend())
+
+    def test_set_default_roundtrip(self):
+        try:
+            set_default_backend("python")
+            assert default_backend_name() == "python"
+            assert get_backend().name == "python"
+        finally:
+            set_default_backend("numpy")
+
+    def test_set_default_rejects_unknown(self):
+        with pytest.raises(MetricsBackendError):
+            set_default_backend("not-a-backend")
+
+
+class TestSelection:
+    def test_hidap_config_validates_backend(self):
+        assert HiDaPConfig(referee_backend="python").referee_backend \
+            == "python"
+        with pytest.raises(ValueError, match="referee backend"):
+            HiDaPConfig(referee_backend="bogus")
+
+    def test_config_threads_into_layout_config(self):
+        config = HiDaPConfig(referee_backend="python")
+        assert config.layout_config(3).metrics_backend == "python"
+        assert HiDaPConfig().layout_config(3).metrics_backend is None
+
+    def test_flow_spec_selects_backend(self):
+        flow = get_flow("hidap:referee_backend=python")
+        assert flow.referee_backend == "python"
+        assert flow.config.referee_backend == "python"
+
+    def test_flow_default_backend_is_registry_default(self):
+        assert get_flow("hidap").referee_backend is None
+
+    def test_baseline_flows_accept_backend(self):
+        assert get_flow("indeda",
+                        referee_backend="python").referee_backend \
+            == "python"
+
+    def test_unknown_backend_is_flow_error(self):
+        with pytest.raises(FlowError):
+            get_flow("indeda:referee_backend=bogus")
+        with pytest.raises(FlowError):
+            get_flow("hidap:referee_backend=bogus")
+
+
+class TestObservability:
+    @pytest.fixture(scope="class")
+    def prepared(self, tiny_c1):
+        from repro.api.prepared import PreparedDesign
+
+        design, truth, die_w, die_h = tiny_c1
+        return PreparedDesign(design=design, die_w=die_w, die_h=die_h,
+                              truth=truth)
+
+    def test_referee_counters_on_metrics(self, prepared):
+        flow = get_flow("indeda", seed=1)
+        metrics = flow.evaluate(prepared)
+        counters = metrics.eval_counters
+        assert counters["referee_backend"] == "numpy"
+        for key in ("referee_stdcell_us", "referee_hpwl_us",
+                    "referee_congestion_us", "referee_timing_us"):
+            assert isinstance(counters[key], int)
+            assert counters[key] >= 0
+
+    def test_backend_name_follows_selection(self, prepared):
+        flow = get_flow("indeda", seed=1, referee_backend="python")
+        metrics = flow.evaluate(prepared)
+        assert metrics.eval_counters["referee_backend"] == "python"
+
+    def test_counters_sink_argument(self, prepared):
+        placement = get_flow("indeda", seed=1).place(prepared)
+        sink = {}
+        metrics = evaluate_placement(prepared.flat, placement,
+                                     prepared.gseq, counters=sink)
+        assert sink["referee_backend"] == "numpy"
+        assert metrics.eval_counters == sink
+
+    def test_hidap_artifacts_carry_referee_counters(self, prepared):
+        from repro.core.config import Effort
+
+        flow = get_flow("hidap", seed=1, effort=Effort.FAST)
+        flow.evaluate(prepared)
+        counters = flow.artifacts.eval_counters
+        assert counters["referee_backend"] == "numpy"
+        assert "referee_hpwl_us" in counters
+        # The annealing counters from the pipeline stages coexist.
+        assert counters.get("cost_evals", 0) > 0

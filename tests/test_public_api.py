@@ -20,7 +20,7 @@ class TestTopLevelExports:
         for package in ("geometry", "netlist", "hiergraph", "shapecurve",
                         "slicing", "floorplan", "core", "placement",
                         "routing", "timing", "baselines", "gen", "eval",
-                        "viz"):
+                        "viz", "metrics"):
             module = importlib.import_module(f"repro.{package}")
             assert module.__doc__, f"repro.{package} needs a docstring"
 
@@ -28,7 +28,7 @@ class TestTopLevelExports:
         for package in ("netlist", "hiergraph", "shapecurve", "slicing",
                         "floorplan", "core", "placement", "routing",
                         "timing", "baselines", "gen", "eval", "viz",
-                        "geometry"):
+                        "geometry", "metrics"):
             module = importlib.import_module(f"repro.{package}")
             for name in getattr(module, "__all__", ()):
                 assert hasattr(module, name), f"repro.{package}.{name}"
