@@ -9,7 +9,6 @@ The bench builds that system at netlist level, derives Gdf twice and
 asserts exactly those two views.
 """
 
-import random
 
 from benchmarks.conftest import pedantic
 from repro.core.dataflow import infer_affinity

@@ -47,10 +47,12 @@ class BaseFlow:
 
     ``referee_backend`` names the referee kernel implementation
     (``None`` → the :mod:`repro.metrics` registry default); it reaches
-    both :func:`~repro.eval.flow.evaluate_placement` and — for HiDaP
-    flows — the layout cost model.  The referee records its backend
-    and per-metric timings on the returned row's ``eval_counters`` and,
-    when the flow kept run artifacts, merges them into
+    every stage of :func:`~repro.eval.flow.evaluate_placement` — the
+    quadratic stdcell system, HPWL, congestion and the timing analysis
+    — and, for HiDaP flows, the layout cost model.  The referee records
+    its backend and per-metric timings (``referee_{stdcell,locate,hpwl,
+    congestion,timing}_us``) on the returned row's ``eval_counters``
+    and, when the flow kept run artifacts, merges them into
     ``RunArtifacts.eval_counters`` for observers.
     """
 

@@ -97,6 +97,31 @@ class PreparedDesign:
         from repro.metrics import net_arrays_for
         return net_arrays_for(self.flat)
 
+    @property
+    def stdcell_arrays(self):
+        """The referee's compiled stdcell connectivity (built once).
+
+        The clustered netlist and its
+        :class:`~repro.metrics.stdcell_kernel.StdcellArrays` both cache
+        on the flat design (:func:`repro.placement.cluster.clustered_for`
+        / :func:`repro.metrics.stdcell_arrays_for`), shared like
+        :attr:`net_arrays`.
+        """
+        from repro.metrics import stdcell_arrays_for
+        from repro.placement.cluster import clustered_for
+        return stdcell_arrays_for(clustered_for(self.flat))
+
+    @property
+    def timing_arrays(self):
+        """The referee's compiled sequential-edge view (built once).
+
+        Cached on the design's :attr:`gseq`
+        (:func:`repro.metrics.timing_arrays_for`); flows that rebuild a
+        differently-thresholded graph compile their own.
+        """
+        from repro.metrics import timing_arrays_for
+        return timing_arrays_for(self.gseq, self.flat)
+
     def info(self) -> str:
         """The suite table's design summary line."""
         text = f"{len(self.flat.cells)} cells, {len(self.flat.macros())} macros"

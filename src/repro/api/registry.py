@@ -21,7 +21,16 @@ legacy spellings ``hidap-l<λ>`` are still accepted.
 from __future__ import annotations
 
 import inspect
-from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.api.prepared import PreparedDesign
 from repro.core.result import MacroPlacement

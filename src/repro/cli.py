@@ -33,7 +33,6 @@ from repro.api import (
 from repro.core.config import Effort
 from repro.eval.tables import format_table2, format_table3
 from repro.gen.designs import build_design, die_for, suite_specs
-from repro.netlist.flatten import flatten
 from repro.netlist.jsonio import load_design, save_design
 from repro.netlist.stats import design_stats
 from repro.netlist.verilog import design_to_verilog

@@ -55,14 +55,19 @@ def evaluate_placement(flat: FlatDesign, placement: MacroPlacement,
     """The shared referee: cell placement + WL + congestion + timing.
 
     ``backend`` selects the referee backend by name (``None`` → the
-    :mod:`repro.metrics` registry default, normally ``numpy``); array
-    backends pull the compiled :class:`~repro.metrics.netarrays.NetArrays`
-    from the per-design cache, so repeated evaluations share one
-    compile.  When ``counters`` is given, the backend name and
-    per-metric wall-clock (``referee_stdcell_us``, ``referee_hpwl_us``,
-    ``referee_congestion_us``, ``referee_timing_us``, integer
-    microseconds) are recorded into it; the same record lands on the
-    returned row's ``eval_counters``.
+    :mod:`repro.metrics` registry default, normally ``numpy``); every
+    referee stage — the quadratic stdcell system, HPWL, congestion and
+    the timing analysis — runs on the selected backend's kernels, and
+    array backends pull the compiled per-design caches
+    (:class:`~repro.metrics.netarrays.NetArrays`, the clustered
+    netlist's :class:`~repro.metrics.stdcell_kernel.StdcellArrays`, the
+    sequential graph's
+    :class:`~repro.metrics.timing_kernel.TimingArrays`), so repeated
+    evaluations share one compile.  When ``counters`` is given, the
+    backend name and per-metric wall-clock (``referee_stdcell_us``,
+    ``referee_hpwl_us``, ``referee_congestion_us``,
+    ``referee_timing_us``, integer microseconds) are recorded into it;
+    the same record lands on the returned row's ``eval_counters``.
     """
     from repro.metrics import get_backend, locate_endpoints, net_arrays_for
 
@@ -85,7 +90,8 @@ def evaluate_placement(flat: FlatDesign, placement: MacroPlacement,
 
     cells = timed("referee_stdcell_us",
                   lambda: place_cells(flat, placement, port_positions,
-                                      config=placer_config))
+                                      config=placer_config,
+                                      backend=resolved))
     # Locate every endpoint once; both array kernels share the result.
     coords = (timed("referee_locate_us",
                     lambda: locate_endpoints(arrays, placement, cells,
@@ -103,7 +109,8 @@ def evaluate_placement(flat: FlatDesign, placement: MacroPlacement,
     timing = timed("referee_timing_us",
                    lambda: analyze_timing(flat, gseq, placement, cells,
                                           port_positions,
-                                          clock_period=clock_period))
+                                          clock_period=clock_period,
+                                          backend=resolved))
     return FlowMetrics(
         design=flat.design.name,
         flow=placement.flow_name,

@@ -10,9 +10,19 @@ moving area between siblings at increasing penalty severity
 """
 
 from repro.floorplan.blocks import Block, Terminal
-from repro.floorplan.budget import BudgetReport, LayoutCache, SubLayout, budgeted_layout
+from repro.floorplan.budget import (
+    BudgetReport,
+    LayoutCache,
+    SubLayout,
+    budgeted_layout,
+)
 from repro.floorplan.cost import CostModel, CostWeights
-from repro.floorplan.engine import LayoutConfig, LayoutProblem, LayoutResult, generate_layout
+from repro.floorplan.engine import (
+    LayoutConfig,
+    LayoutProblem,
+    LayoutResult,
+    generate_layout,
+)
 
 __all__ = [
     "Block",

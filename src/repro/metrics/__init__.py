@@ -11,9 +11,15 @@ into batched array kernels:
   ``python`` reference loops (the equivalence oracle) and the
   ``numpy`` default, plus :func:`register_backend` for third-party
   implementations.
-* :mod:`repro.metrics.numpy_backend` holds the three batched kernels
+* :mod:`repro.metrics.numpy_backend` holds the batched kernels
   (segmented HPWL, congestion rasterization, affinity-pair distances),
   bit-identical to the reference loops by construction.
+* :mod:`repro.metrics.stdcell_kernel` compiles the clustered netlist's
+  quadratic clique connectivity (:class:`StdcellArrays`) and assembles
+  the cell placer's sparse system with ordered array scatters.
+* :mod:`repro.metrics.timing_kernel` compiles the sequential graph's
+  edges with a topological levelization (:class:`TimingArrays`) and
+  batches the slack analysis level by level.
 
 Selecting a backend::
 
@@ -44,6 +50,16 @@ from repro.metrics.netarrays import (
     net_arrays_for,
 )
 from repro.metrics.numpy_backend import NumpyBackend
+from repro.metrics.stdcell_kernel import (
+    StdcellArrays,
+    compile_stdcell_arrays,
+    stdcell_arrays_for,
+)
+from repro.metrics.timing_kernel import (
+    TimingArrays,
+    compile_timing_arrays,
+    timing_arrays_for,
+)
 
 register_backend(PythonBackend(), overwrite=True)
 register_backend(NumpyBackend(), overwrite=True)
@@ -55,12 +71,18 @@ __all__ = [
     "NumpyBackend",
     "PythonBackend",
     "RefereeBackend",
+    "StdcellArrays",
+    "TimingArrays",
     "available_backends",
     "compile_net_arrays",
+    "compile_stdcell_arrays",
+    "compile_timing_arrays",
     "default_backend_name",
     "get_backend",
     "locate_endpoints",
     "net_arrays_for",
     "register_backend",
     "set_default_backend",
+    "stdcell_arrays_for",
+    "timing_arrays_for",
 ]

@@ -1,7 +1,8 @@
 """The referee backend registry.
 
-A *referee backend* owns the three batched evaluation kernels — HPWL,
-congestion and the affinity-pair distance term — behind one small
+A *referee backend* owns the five batched evaluation kernels — the
+quadratic stdcell system assembly, HPWL, congestion, the levelized
+timing analysis and the affinity-pair distance term — behind one small
 interface, so the referee (:func:`repro.eval.flow.evaluate_placement`),
 the layout cost model (:class:`repro.floorplan.cost.CostModel`) and the
 CLI can switch implementations with a name:
@@ -26,11 +27,15 @@ from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.result import MacroPlacement
     from repro.geometry.rect import Point
+    from repro.hiergraph.gseq import Gseq
     from repro.metrics.netarrays import NetArrays
     from repro.netlist.flatten import FlatDesign
+    from repro.placement.cluster import ClusteredNetlist
     from repro.placement.hpwl import HpwlReport
-    from repro.placement.stdcell import CellPlacement
+    from repro.placement.stdcell import CellPlacement, PlacerConfig
     from repro.routing.congestion import CongestionReport
+    from repro.timing.delay import DelayModel
+    from repro.timing.sta import TimingReport
 
 
 class MetricsBackendError(ValueError):
@@ -38,12 +43,12 @@ class MetricsBackendError(ValueError):
 
 
 class RefereeBackend:
-    """One implementation of the three referee kernels.
+    """One implementation of the referee kernels.
 
     ``name`` identifies the backend in configs/CLI flags;
     ``uses_net_arrays`` tells callers whether to compile (and pass) the
     shared :class:`~repro.metrics.netarrays.NetArrays`.  ``coords``
-    optionally hands both kernels one shared
+    optionally hands the HPWL and congestion kernels one shared
     :func:`~repro.metrics.netarrays.locate_endpoints` result so a
     caller evaluating several metrics on the same placement (the
     referee) locates every endpoint once; backends that do not consume
@@ -52,6 +57,39 @@ class RefereeBackend:
 
     name = "base"
     uses_net_arrays = False
+
+    def stdcell_system(self, flat: "FlatDesign",
+                       placement: "MacroPlacement",
+                       port_positions: Dict[str, "Point"],
+                       config: "PlacerConfig",
+                       clustered: "ClusteredNetlist"):
+        """``(laplacian, bx, by)`` of the quadratic clique system.
+
+        The shared solve (conjugate gradients + diffusion) lives in
+        :func:`repro.placement.stdcell.place_cells`; backends only own
+        the connectivity assembly, the profiled hot loop.  Defaults to
+        the reference assembly so backends predating this kernel (or
+        choosing not to specialize it) keep working — every builtin
+        kernel is bit-identical, so mixing is safe.
+        """
+        from repro.placement.stdcell import _build_system
+        return _build_system(clustered, flat, placement, port_positions,
+                             config)
+
+    def timing(self, flat: "FlatDesign", gseq: "Gseq",
+               placement: "MacroPlacement", cells: "CellPlacement",
+               port_positions: Dict[str, "Point"], clock_period: float,
+               model: "DelayModel") -> "TimingReport":
+        """Slack analysis of every sequential edge against the clock.
+
+        Defaults to the reference per-edge loop (see
+        :meth:`stdcell_system` for why).
+        """
+        from repro.timing.sta import analyze_timing_reference
+        return analyze_timing_reference(flat, gseq, placement, cells,
+                                        port_positions,
+                                        clock_period=clock_period,
+                                        model=model)
 
     def hpwl(self, flat: "FlatDesign", placement: "MacroPlacement",
              cells: "CellPlacement", port_positions: Dict[str, "Point"],
@@ -135,7 +173,11 @@ class AffinityPairs:
 
 
 class PythonBackend(RefereeBackend):
-    """The reference per-net loops (the repo's original referee)."""
+    """The reference loops (the repo's original referee).
+
+    ``stdcell_system`` and ``timing`` are the inherited reference
+    implementations — the base class already delegates to them.
+    """
 
     name = "python"
     uses_net_arrays = False

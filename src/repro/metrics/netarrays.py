@@ -224,9 +224,8 @@ def locate_endpoints(arrays: NetArrays, placement: MacroPlacement,
     # -- standard-cell rows: cluster-position gather ------------------------
     rows = arrays.kind == KIND_STD
     if rows.any():
-        cluster_of_cell = np.full(arrays.n_cells, -1, dtype=np.int64)
-        for cell_index, cluster in cells.clustered.cluster_of_cell.items():
-            cluster_of_cell[cell_index] = cluster
+        cluster_of_cell = cells.clustered.cell_cluster_array(
+            arrays.n_cells)
         cluster = cluster_of_cell[arrays.ref[rows]]
         has_cluster = cluster >= 0
         safe = np.maximum(cluster, 0)

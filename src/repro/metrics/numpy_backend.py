@@ -37,11 +37,37 @@ def _sequential_sum(values: np.ndarray) -> float:
 
 
 class NumpyBackend(RefereeBackend):
-    """Array-compiled referee: segmented HPWL, rasterized congestion,
-    gathered affinity distances."""
+    """Array-compiled referee: batched stdcell assembly, segmented HPWL,
+    rasterized congestion, levelized timing, gathered affinity
+    distances."""
 
     name = "numpy"
     uses_net_arrays = True
+
+    # -- quadratic stdcell system -------------------------------------------
+
+    def stdcell_system(self, flat, placement, port_positions, config,
+                       clustered):
+        from repro.metrics.stdcell_kernel import (
+            assemble_quadratic_system,
+            stdcell_arrays_for,
+        )
+
+        return assemble_quadratic_system(stdcell_arrays_for(clustered),
+                                         clustered, flat, placement,
+                                         port_positions, config)
+
+    # -- timing -------------------------------------------------------------
+
+    def timing(self, flat, gseq, placement, cells, port_positions,
+               clock_period, model):
+        from repro.metrics.timing_kernel import (
+            timing_arrays_for,
+            timing_report,
+        )
+
+        return timing_report(timing_arrays_for(gseq, flat), placement,
+                             cells, port_positions, clock_period, model)
 
     # -- HPWL ---------------------------------------------------------------
 

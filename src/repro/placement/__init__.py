@@ -9,7 +9,12 @@ bins and macro blockages by grid diffusion.  Wirelength is bit-level
 HPWL over the flat netlist.
 """
 
-from repro.placement.cluster import Cluster, ClusteredNetlist, cluster_cells
+from repro.placement.cluster import (
+    Cluster,
+    ClusteredNetlist,
+    cluster_cells,
+    clustered_for,
+)
 from repro.placement.hpwl import hpwl_report, HpwlReport
 from repro.placement.stdcell import CellPlacement, PlacerConfig, place_cells
 
@@ -20,6 +25,7 @@ __all__ = [
     "HpwlReport",
     "PlacerConfig",
     "cluster_cells",
+    "clustered_for",
     "hpwl_report",
     "place_cells",
 ]

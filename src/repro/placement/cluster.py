@@ -10,7 +10,7 @@ onto clusters, with parallel bit nets collapsed into weighted edges.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.hiergraph.arrays import array_base
 from repro.netlist.flatten import FlatDesign
@@ -42,6 +42,10 @@ class ClusteredNetlist:
     clusters: List[Cluster]
     cluster_of_cell: Dict[int, int]
     nets: List[Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[str, ...], int]]
+    #: Dense ``cell index -> cluster index`` array (lazy; see
+    #: :meth:`cell_cluster_array`).
+    _cell_cluster: Optional[Tuple[int, "object"]] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def n_clusters(self) -> int:
@@ -49,6 +53,25 @@ class ClusteredNetlist:
 
     def total_area(self) -> float:
         return sum(c.area for c in self.clusters)
+
+    def cell_cluster_array(self, n_cells: int):
+        """``cluster_of_cell`` as a dense int64 array (-1 = unclustered).
+
+        Array kernels gather cluster coordinates per flat cell; building
+        the dense map from the dict once per netlist (not once per
+        metric call) keeps that gather cheap.  Cached per ``n_cells``.
+        """
+        import numpy as np
+
+        cached = self._cell_cluster
+        if cached is not None and cached[0] == n_cells:
+            return cached[1]
+        dense = np.full(n_cells, -1, dtype=np.int64)
+        for cell_index, cluster in self.cluster_of_cell.items():
+            if 0 <= cell_index < n_cells:
+                dense[cell_index] = cluster
+        self._cell_cluster = (n_cells, dense)
+        return dense
 
 
 def cluster_cells(flat: FlatDesign) -> ClusteredNetlist:
@@ -110,3 +133,29 @@ def cluster_cells(flat: FlatDesign) -> ClusteredNetlist:
     nets = [(c, m, p, w) for (c, m, p), w in sorted(collapsed.items())]
     return ClusteredNetlist(clusters=clusters,
                             cluster_of_cell=cluster_of_cell, nets=nets)
+
+
+def _fingerprint(flat: FlatDesign) -> Tuple[int, int, int]:
+    """Cheap staleness check for the per-design clustering cache."""
+    rows = sum(len(net.endpoints) + len(net.top_ports)
+               for net in flat.nets)
+    return (len(flat.cells), len(flat.nets), rows)
+
+
+def clustered_for(flat: FlatDesign) -> ClusteredNetlist:
+    """The clustered netlist for ``flat``, built once and cached on it.
+
+    Clustering is a pure function of the flat netlist (no placement, no
+    RNG), so every referee evaluation of the same design can share one
+    :class:`ClusteredNetlist` — the same sharing discipline as
+    :func:`repro.metrics.net_arrays_for`.  The cache is invalidated when
+    the design's cell/net counts change; deeper mutations require
+    dropping ``flat._clustered`` manually.
+    """
+    fingerprint = _fingerprint(flat)
+    cached = getattr(flat, "_clustered", None)
+    if cached is not None and cached[0] == fingerprint:
+        return cached[1]
+    clustered = cluster_cells(flat)
+    flat._clustered = (fingerprint, clustered)
+    return clustered

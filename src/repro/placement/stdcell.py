@@ -8,11 +8,20 @@ dense clumps, so a diffusion pass then iteratively pushes area out of
 overfull bins — macro bins have zero capacity, which is how a macro
 placement's quality propagates into the cell placement and the
 wirelength / congestion / timing metrics measured on it.
+
+:func:`place_cells` dispatches the clique-system assembly (the profiled
+hot loop) through the referee backend registry (:mod:`repro.metrics`):
+the ``numpy`` default streams the compiled
+:class:`~repro.metrics.stdcell_kernel.StdcellArrays` through ordered
+``np.add.at`` scatters; :func:`_build_system` keeps the original double
+loop as the ``python`` oracle.  Both assemble bit-identical systems, so
+the solved cell placement is backend-independent; the conjugate-gradient
+solve and the diffusion pass are shared.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -22,7 +31,7 @@ from scipy.sparse.linalg import cg
 from repro.core.result import MacroPlacement
 from repro.geometry.rect import Point, Rect
 from repro.netlist.flatten import FlatDesign
-from repro.placement.cluster import ClusteredNetlist, cluster_cells
+from repro.placement.cluster import ClusteredNetlist, clustered_for
 
 #: Nets wider than this endpoint count get a weakened clique weight.
 _CLIQUE_CAP = 12
@@ -188,18 +197,27 @@ def _diffuse(clustered: ClusteredNetlist, x: np.ndarray, y: np.ndarray,
 def place_cells(flat: FlatDesign, placement: MacroPlacement,
                 port_positions: Dict[str, Point],
                 config: Optional[PlacerConfig] = None,
-                clustered: Optional[ClusteredNetlist] = None
-                ) -> CellPlacement:
-    """Place standard-cell clusters given a macro placement."""
+                clustered: Optional[ClusteredNetlist] = None,
+                backend=None) -> CellPlacement:
+    """Place standard-cell clusters given a macro placement.
+
+    ``clustered`` defaults to the per-design cache
+    (:func:`repro.placement.cluster.clustered_for`), so repeated referee
+    evaluations share one clustering; ``backend`` selects the referee
+    backend assembling the quadratic system (``None`` → the
+    :mod:`repro.metrics` registry default).
+    """
+    from repro.metrics import get_backend
+
     config = config or PlacerConfig()
-    clustered = clustered or cluster_cells(flat)
+    clustered = clustered if clustered is not None else clustered_for(flat)
     n = clustered.n_clusters
     die = placement.die
     if n == 0:
         return CellPlacement(clustered, np.zeros(0), np.zeros(0), die)
 
-    laplacian, bx, by = _build_system(clustered, flat, placement,
-                                      port_positions, config)
+    laplacian, bx, by = get_backend(backend).stdcell_system(
+        flat, placement, port_positions, config, clustered)
     x0 = np.full(n, die.center.x)
     y0 = np.full(n, die.center.y)
     x, _ = cg(laplacian, bx, x0=x0, rtol=config.cg_tol,

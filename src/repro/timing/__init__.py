@@ -10,7 +10,12 @@ flows are fair.
 """
 
 from repro.timing.delay import DelayModel
-from repro.timing.sta import TimingReport, analyze_timing, default_clock_period
+from repro.timing.sta import (
+    TimingReport,
+    analyze_timing,
+    analyze_timing_reference,
+    default_clock_period,
+)
 
 __all__ = ["DelayModel", "TimingReport", "analyze_timing",
-           "default_clock_period"]
+           "analyze_timing_reference", "default_clock_period"]

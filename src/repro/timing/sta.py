@@ -7,6 +7,12 @@ measured per edge against a design-specific clock period; WNS is the
 worst slack (reported as a percentage of the period, negative = failing)
 and TNS accumulates negative slack over all failing endpoints,
 mirroring the paper's Table III columns.
+
+:func:`analyze_timing` dispatches through the referee backend registry
+(:mod:`repro.metrics`): the ``numpy`` default runs the levelized batched
+kernel over compiled :class:`~repro.metrics.timing_kernel.TimingArrays`;
+:func:`analyze_timing_reference` keeps the original per-edge loop as the
+``python`` oracle.  Both return bit-identical reports.
 """
 
 from __future__ import annotations
@@ -85,8 +91,32 @@ def analyze_timing(flat: FlatDesign, gseq: Gseq,
                    placement: MacroPlacement, cells: CellPlacement,
                    port_positions: Dict[str, Point],
                    clock_period: Optional[float] = None,
-                   model: Optional[DelayModel] = None) -> TimingReport:
-    """Evaluate every Gseq edge against the clock period."""
+                   model: Optional[DelayModel] = None,
+                   backend=None) -> TimingReport:
+    """Evaluate every Gseq edge against the clock period.
+
+    ``backend`` selects a referee backend by name or instance (``None``
+    → the :mod:`repro.metrics` registry default, normally ``numpy``).
+    """
+    from repro.metrics import get_backend
+
+    model = model or DelayModel()
+    if clock_period is None:
+        clock_period = default_clock_period(placement.die.w,
+                                            placement.die.h, model)
+    return get_backend(backend).timing(flat, gseq, placement, cells,
+                                       port_positions, clock_period,
+                                       model)
+
+
+def analyze_timing_reference(flat: FlatDesign, gseq: Gseq,
+                             placement: MacroPlacement,
+                             cells: CellPlacement,
+                             port_positions: Dict[str, Point],
+                             clock_period: Optional[float] = None,
+                             model: Optional[DelayModel] = None
+                             ) -> TimingReport:
+    """The per-edge reference loop (the ``python`` backend's kernel)."""
     model = model or DelayModel()
     if clock_period is None:
         clock_period = default_clock_period(placement.die.w,

@@ -7,8 +7,6 @@ import pytest
 from repro.gen.designs import build_design, die_for, suite_specs
 from repro.netlist.builder import ModuleBuilder
 from repro.netlist.cells import (
-    DEFAULT_COMB,
-    DEFAULT_FLOP,
     Direction,
     PinGeometry,
     PortDef,

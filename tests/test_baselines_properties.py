@@ -1,6 +1,5 @@
 """Property-based tests for the baseline packing machinery."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.common import pack_perimeter

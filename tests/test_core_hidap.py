@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import HiDaP, HiDaPConfig
 from repro.core.config import Effort
-from repro.gen.designs import build_design, die_for, suite_specs
 
 
 @pytest.fixture(scope="module")

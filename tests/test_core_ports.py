@@ -1,6 +1,5 @@
 """Tests for deterministic port placement."""
 
-import pytest
 
 from repro.core.ports import assign_port_positions, port_side
 from repro.geometry.rect import Point, Rect

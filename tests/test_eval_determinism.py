@@ -1,6 +1,5 @@
 """Determinism of the full referee and the best-of-three protocol."""
 
-import pytest
 
 from repro.baselines.indeda import place_indeda
 from repro.core.config import Effort

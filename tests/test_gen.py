@@ -4,7 +4,6 @@ import pytest
 
 from repro.gen.designs import build_design, die_for, suite_specs
 from repro.gen.macros import make_macro_library
-from repro.netlist.flatten import flatten
 from repro.netlist.stats import design_stats
 from repro.netlist.validate import validate_design
 

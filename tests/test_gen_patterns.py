@@ -7,10 +7,6 @@ import pytest
 from repro.gen.macros import make_macro_library
 from repro.gen.patterns import (
     BUILDERS,
-    build_dsp,
-    build_memsys,
-    build_pipeline,
-    build_xbar,
 )
 from repro.gen.spec import SubsystemSpec
 from repro.netlist.core import Design

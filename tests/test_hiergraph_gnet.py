@@ -1,6 +1,5 @@
 """Tests for the bit-level netlist graph Gnet."""
 
-import pytest
 
 from repro.hiergraph.gnet import NodeKind, build_gnet
 

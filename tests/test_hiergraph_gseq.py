@@ -1,9 +1,8 @@
 """Tests for Gseq construction: collapse, clustering, thresholding."""
 
-import pytest
 
 from repro.hiergraph.gnet import build_gnet
-from repro.hiergraph.gseq import SeqKind, build_gseq
+from repro.hiergraph.gseq import build_gseq
 from repro.netlist.builder import ModuleBuilder, single_module_design
 from repro.netlist.flatten import flatten
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.hiergraph.hierarchy import build_hierarchy
-from repro.netlist.flatten import flatten
 
 
 class TestHierarchy:

@@ -1,6 +1,5 @@
 """Property-based tests of Gseq construction over random pipelines."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hiergraph.gnet import build_gnet

@@ -8,7 +8,7 @@ from repro.core import HiDaP, HiDaPConfig
 from repro.core.config import Effort
 from repro.eval.flow import evaluate_placement
 from repro.eval.suite import run_suite
-from repro.eval.tables import format_table2, format_table3, geomean
+from repro.eval.tables import format_table2, format_table3
 
 
 class TestThreeFlowComparison:

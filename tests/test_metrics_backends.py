@@ -57,6 +57,49 @@ class TestRegistry:
         with pytest.raises(MetricsBackendError):
             register_backend(RefereeBackend())
 
+    def test_partial_backend_inherits_reference_kernels(self, tiny_c1):
+        """A backend registered before the stdcell/timing kernels
+        existed (implementing only hpwl/congestion/affinity_distance)
+        must keep evaluating: the base class falls back to the
+        reference implementations."""
+        from repro.api.prepared import PreparedDesign
+
+        class Pr3Era(RefereeBackend):
+            name = "pr3-era-test"
+
+            def hpwl(self, flat, placement, cells, port_positions,
+                     arrays=None, coords=None):
+                from repro.placement.hpwl import hpwl_reference
+                return hpwl_reference(flat, placement, cells,
+                                      port_positions)
+
+            def congestion(self, flat, placement, cells,
+                           port_positions, bins=32, arrays=None,
+                           coords=None):
+                from repro.routing.congestion import congestion_reference
+                return congestion_reference(flat, placement, cells,
+                                            port_positions, bins=bins)
+
+            def affinity_distance(self, pairs, centers):
+                return PythonBackend().affinity_distance(pairs, centers)
+
+        design, truth, die_w, die_h = tiny_c1
+        prepared = PreparedDesign(design=design, die_w=die_w,
+                                  die_h=die_h, truth=truth)
+        try:
+            register_backend(Pr3Era())
+            placement = get_flow("indeda", seed=1).place(prepared)
+            partial = evaluate_placement(prepared.flat, placement,
+                                         prepared.gseq,
+                                         backend="pr3-era-test")
+            oracle = evaluate_placement(prepared.flat, placement,
+                                        prepared.gseq, backend="python")
+            assert partial.wl_meters == oracle.wl_meters
+            assert partial.wns_percent == oracle.wns_percent
+            assert partial.tns == oracle.tns
+        finally:
+            _BACKENDS.pop("pr3-era-test", None)
+
     def test_set_default_roundtrip(self):
         try:
             set_default_backend("python")
@@ -144,3 +187,20 @@ class TestObservability:
         assert "referee_hpwl_us" in counters
         # The annealing counters from the pipeline stages coexist.
         assert counters.get("cost_evals", 0) > 0
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_stdcell_and_timing_counters_both_backends(self, prepared,
+                                                       backend):
+        """Satellite: the PR 4 kernel stages are observable on both
+        backends, in FlowMetrics and in RunArtifacts."""
+        from repro.core.config import Effort
+
+        flow = get_flow("hidap", seed=1, effort=Effort.FAST,
+                        referee_backend=backend)
+        metrics = flow.evaluate(prepared)
+        for counters in (metrics.eval_counters,
+                         flow.artifacts.eval_counters):
+            assert counters["referee_backend"] == backend
+            for key in ("referee_stdcell_us", "referee_timing_us"):
+                assert isinstance(counters[key], int)
+                assert counters[key] >= 0

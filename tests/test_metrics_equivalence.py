@@ -15,14 +15,21 @@ from repro.floorplan.blocks import Block, Terminal
 from repro.floorplan.cost import CostModel
 from repro.geometry.orientation import Orientation
 from repro.geometry.rect import Point, Rect
+from repro.metrics import get_backend
 from repro.netlist.flatten import FlatNet
+from repro.placement.cluster import clustered_for
 from repro.placement.hpwl import hpwl_reference, hpwl_report
-from repro.placement.stdcell import CellPlacement, place_cells
+from repro.placement.stdcell import (
+    CellPlacement,
+    PlacerConfig,
+    place_cells,
+)
 from repro.routing.congestion import (
     congestion_reference,
     estimate_congestion,
 )
 from repro.shapecurve.curve import ShapeCurve
+from repro.timing.sta import analyze_timing, analyze_timing_reference
 
 SUITE_DESIGNS = ("c1", "c2", "c3", "c4", "c5")
 
@@ -44,6 +51,42 @@ def _assert_congestion_identical(flat, placement, cells, ports):
     assert np.array_equal(ref.grid.demand_v, new.grid.demand_v)
     assert new.grc_percent == ref.grc_percent
     assert new.hot_fraction == ref.hot_fraction
+    return ref
+
+
+def _assert_stdcell_identical(flat, placement, ports):
+    """Assembled systems and solved placements match bit for bit."""
+    clustered = clustered_for(flat)
+    config = PlacerConfig()
+    ref = get_backend("python").stdcell_system(flat, placement, ports,
+                                               config, clustered)
+    new = get_backend("numpy").stdcell_system(flat, placement, ports,
+                                              config, clustered)
+    assert ref[0].shape == new[0].shape
+    assert np.array_equal(ref[0].indptr, new[0].indptr)
+    assert np.array_equal(ref[0].indices, new[0].indices)
+    assert np.array_equal(ref[0].data, new[0].data)
+    assert np.array_equal(ref[1], new[1])       # bx
+    assert np.array_equal(ref[2], new[2])       # by
+    cells_ref = place_cells(flat, placement, ports, backend="python")
+    cells_new = place_cells(flat, placement, ports, backend="numpy")
+    assert np.array_equal(cells_ref.x, cells_new.x)
+    assert np.array_equal(cells_ref.y, cells_new.y)
+    return cells_new
+
+
+def _assert_timing_identical(flat, gseq, placement, cells, ports,
+                             clock_period=None):
+    ref = analyze_timing_reference(flat, gseq, placement, cells, ports,
+                                   clock_period=clock_period)
+    new = analyze_timing(flat, gseq, placement, cells, ports,
+                         clock_period=clock_period, backend="numpy")
+    assert new.clock_period == ref.clock_period
+    assert new.wns == ref.wns
+    assert new.tns == ref.tns
+    assert new.n_paths == ref.n_paths
+    assert new.n_failing == ref.n_failing
+    assert new.worst_edge == ref.worst_edge
     return ref
 
 
@@ -75,6 +118,20 @@ class TestSuiteRows:
         cells = place_cells(flat, placement, ports)
         _assert_hpwl_identical(flat, placement, cells, ports)
         _assert_congestion_identical(flat, placement, cells, ports)
+
+    @pytest.mark.parametrize("name", SUITE_DESIGNS)
+    def test_stdcell_and_timing_bit_identical(self, name):
+        """The PR 4 kernels on every suite design's real placement."""
+        prepared = prepare_suite_design(name, "tiny")
+        flat = prepared.flat
+        placement = get_flow("indeda", seed=1).place(prepared)
+        ports = assign_port_positions(flat.design, placement.die)
+        cells = _assert_stdcell_identical(flat, placement, ports)
+        _assert_timing_identical(flat, prepared.gseq, placement, cells,
+                                 ports)
+        # A tight clock exercises the failing-path accumulations too.
+        _assert_timing_identical(flat, prepared.gseq, placement, cells,
+                                 ports, clock_period=1e-3)
 
 
 class TestRandomizedPlacements:
@@ -131,6 +188,27 @@ class TestRandomizedPlacements:
                 die=die)
             _assert_hpwl_identical(flat, placement, cells, ports)
             _assert_congestion_identical(flat, placement, cells, ports)
+
+    def test_random_stdcell_and_timing_identical(self, tiny_c1_flat,
+                                                 tiny_c1):
+        """Property sweep for the PR 4 kernels: random partial
+        placements (unplaced macros, dropped ports, random
+        orientations) keep both backends bit-identical."""
+        from repro.hiergraph.gnet import build_gnet
+        from repro.hiergraph.gseq import build_gseq
+
+        _design, _truth, die_w, die_h = tiny_c1
+        flat = tiny_c1_flat
+        gseq = build_gseq(build_gnet(flat), flat)
+        rng = random.Random(20260730)
+        for _trial in range(4):
+            placement, ports = self._random_context(flat, die_w, die_h,
+                                                    rng)
+            cells = _assert_stdcell_identical(flat, placement, ports)
+            _assert_timing_identical(flat, gseq, placement, cells,
+                                     ports)
+            _assert_timing_identical(flat, gseq, placement, cells,
+                                     ports, clock_period=0.5)
 
 
 class TestDegenerateNets:

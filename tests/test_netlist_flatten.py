@@ -3,7 +3,7 @@
 import pytest
 
 from repro.netlist.builder import ModuleBuilder, single_module_design
-from repro.netlist.cells import DEFAULT_COMB, DEFAULT_FLOP, Direction
+from repro.netlist.cells import DEFAULT_COMB
 from repro.netlist.core import Design
 from repro.netlist.flatten import flatten, net_driver
 

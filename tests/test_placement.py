@@ -7,7 +7,7 @@ from repro.core.result import MacroPlacement, PlacedMacro
 from repro.geometry.rect import Point, Rect
 from repro.placement.cluster import cluster_cells
 from repro.placement.hpwl import hpwl_report
-from repro.placement.stdcell import PlacerConfig, place_cells
+from repro.placement.stdcell import place_cells
 
 
 @pytest.fixture(scope="module")

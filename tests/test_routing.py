@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.ports import assign_port_positions
 from repro.core.result import MacroPlacement, PlacedMacro
-from repro.geometry.rect import Point, Rect
+from repro.geometry.rect import Rect
 from repro.placement.stdcell import place_cells
 from repro.routing.congestion import estimate_congestion
 from repro.routing.grid import MACRO_POROSITY, RoutingGrid

@@ -1,6 +1,5 @@
 """Tests for SA-based shape-curve generation (S_Γ)."""
 
-import pytest
 
 from repro.shapecurve.curve import ShapeCurve
 from repro.shapecurve.generation import (

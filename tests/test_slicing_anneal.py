@@ -3,7 +3,7 @@
 import pytest
 
 from repro.slicing.anneal import AnnealConfig, Annealer
-from repro.slicing.polish import H, PolishExpression, V, is_operator
+from repro.slicing.polish import H, PolishExpression, V
 
 
 def count_h(expr: PolishExpression) -> int:

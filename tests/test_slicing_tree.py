@@ -5,7 +5,6 @@ import pytest
 from repro.shapecurve.curve import ShapeCurve
 from repro.slicing.polish import H, PolishExpression, V
 from repro.slicing.tree import (
-    SlicingNode,
     annotate_areas,
     annotate_curves,
     build_tree,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.geometry.rect import Point, Rect
+from repro.geometry.rect import Rect
 from repro.hiergraph.gdf import Gdf, GdfEdge, GdfNode
 from repro.hiergraph.histogram import LatencyHistogram
 from repro.viz.ascii_art import ascii_floorplan, ascii_histogram
