@@ -1,8 +1,8 @@
 # Convenience targets for the RTL-aware macro-placement reproduction.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-benchmarks lint smoke-api bench-suite bench-anneal \
-	bench-referee check flows
+.PHONY: test test-benchmarks lint analyze smoke-api bench-suite \
+	bench-anneal bench-referee check flows
 
 # Tier-1 verification: the full unit-test suite.
 test:
@@ -14,17 +14,27 @@ test-benchmarks:
 	python -m pytest -q benchmarks
 
 # Lint gate: ruff (config in pyproject.toml) when installed, a builtin
-# fallback implementing the same selected rules otherwise.
+# fallback implementing the same selected rules otherwise (both read
+# the identical rule set via tools/analyze/lintrules.py).
 lint:
 	python tools/lint.py
 
+# Determinism & backend-contract static analyzer (rules REP001-REP006;
+# see ROADMAP "Static analysis contracts").  Exits 1 on any unbaselined
+# finding; the JSON report is uploaded by CI next to BENCH_*.json.
+analyze:
+	python -m tools.analyze \
+	    --json-out benchmarks/artifacts/ANALYZE_findings.json
+
 # One verification entry point for builders and CI (the ci.yml "check"
-# job runs exactly this): lint, tier-1 tests (tests/ only, the
-# benchmark reproductions are excluded for speed), the API smoke, and
-# the referee-backend benchmark — bit-identity across backends is the
-# hard gate there; the >= 3x speedup gate warns on loaded runners.
+# job runs exactly this): lint, the repro-analyze gate, tier-1 tests
+# (tests/ only, the benchmark reproductions are excluded for speed),
+# the API smoke, and the referee-backend benchmark — bit-identity
+# across backends is the hard gate there; the >= 3x speedup gate warns
+# on loaded runners.
 check:
 	$(MAKE) lint
+	$(MAKE) analyze
 	python -m pytest -x -q tests
 	$(MAKE) smoke-api
 	$(MAKE) bench-referee

@@ -9,8 +9,12 @@ every report agrees bit-for-bit: the assembled sparse systems (CSR
 data/indices and both right-hand sides), the solved cell placements,
 the HPWL and congestion reports, the timing reports (WNS/TNS/paths/
 worst edge) and full referee rows (``evaluate_placement``) after
-rounding.  Results land in ``benchmarks/artifacts/BENCH_referee.json``
-so future PRs have a performance trajectory to compare against.
+rounding.  A fifth phase times the quadratic CG solve: two sequential
+``scipy`` solves vs :func:`repro.placement.stdcell.solve_quadratic_xy`
+(one paired loop sharing a two-column matvec), with bit-identity of the
+solutions folded into the same hard gate.  Results land in
+``benchmarks/artifacts/BENCH_referee.json`` so future PRs have a
+performance trajectory to compare against.
 
 Gating (the CI contract): **bit-identity is the hard failure** — any
 mismatch exits 1 no matter how fast the kernels are.  The speedup gate
@@ -34,6 +38,7 @@ import platform
 import time
 
 import numpy as np
+from scipy.sparse.linalg import cg
 
 from repro.api.prepared import prepare_suite_design
 from repro.api import get_flow
@@ -47,7 +52,11 @@ from repro.metrics import (
 )
 from repro.placement.cluster import clustered_for
 from repro.placement.hpwl import hpwl_report
-from repro.placement.stdcell import PlacerConfig, place_cells
+from repro.placement.stdcell import (
+    PlacerConfig,
+    place_cells,
+    solve_quadratic_xy,
+)
 from repro.routing.congestion import estimate_congestion
 from repro.timing.sta import analyze_timing
 
@@ -137,6 +146,29 @@ def _bench_design(name: str, scale: str, flow: str, seed: int,
         reports[backend] = {"system": system, "wl": wl,
                             "congestion": congestion, "timing": timing}
 
+    # CG solver phase: two sequential scipy solves vs the paired loop
+    # that shares one two-column matvec per iteration (same Laplacian,
+    # both right-hand sides).  Bit-identity feeds the hard gate.
+    laplacian, bx, by = reports["numpy"]["system"]
+    n = clustered.n_clusters
+    x0 = np.full(n, placement.die.center.x)
+    y0 = np.full(n, placement.die.center.y)
+
+    def _solve_sequential():
+        x, _ = cg(laplacian, bx, x0=x0, rtol=config.cg_tol,
+                  maxiter=config.cg_maxiter)
+        y, _ = cg(laplacian, by, x0=y0, rtol=config.cg_tol,
+                  maxiter=config.cg_maxiter)
+        return x, y
+
+    cg_sequential_seconds, (seq_x, seq_y) = _best_of(
+        _solve_sequential, repeats)
+    cg_paired_seconds, (pair_x, pair_y) = _best_of(
+        lambda: solve_quadratic_xy(laplacian, bx, by, x0, y0,
+                                   rtol=config.cg_tol,
+                                   maxiter=config.cg_maxiter),
+        repeats)
+
     solved = {backend: place_cells(flat, placement, ports,
                                    clustered=clustered, backend=backend)
               for backend in BACKENDS}
@@ -157,6 +189,8 @@ def _bench_design(name: str, scale: str, flow: str, seed: int,
             == np_["congestion"].hot_fraction,
         "timing": _timing_identical(py["timing"], np_["timing"]),
         "rows": rows["python"] == rows["numpy"],
+        "cg_solver": np.array_equal(seq_x, pair_x)
+                     and np.array_equal(seq_y, pair_y),
     }
 
     py_total = sum(phase_seconds["python"].values())
@@ -175,6 +209,10 @@ def _bench_design(name: str, scale: str, flow: str, seed: int,
         "speedup": round(py_total / np_total, 3) if np_total else 0.0,
         "identical": all(identical.values()),
         "identical_detail": identical,
+        "cg_sequential_seconds": round(cg_sequential_seconds, 6),
+        "cg_paired_seconds": round(cg_paired_seconds, 6),
+        "cg_speedup": round(cg_sequential_seconds / cg_paired_seconds, 3)
+                      if cg_paired_seconds else 0.0,
         "wl_meters": round(py["wl"].meters, 9),
         "grc_percent": round(py["congestion"].grc_percent, 9),
         "tns": round(py["timing"].tns, 9),
@@ -208,6 +246,7 @@ def main() -> int:
     per_design = []
     all_identical = True
     py_total = np_total = 0.0
+    cg_seq_total = cg_pair_total = 0.0
     for name in args.designs.split(","):
         record = _bench_design(name, args.scale, args.flow, args.seed,
                                args.repeats)
@@ -215,6 +254,8 @@ def main() -> int:
         all_identical = all_identical and record["identical"]
         py_total += record["python_seconds"]
         np_total += record["numpy_seconds"]
+        cg_seq_total += record["cg_sequential_seconds"]
+        cg_pair_total += record["cg_paired_seconds"]
         print(f"{name}: python {1e3 * record['python_seconds']:8.2f}ms  "
               f"numpy {1e3 * record['numpy_seconds']:8.2f}ms  "
               f"(x{record['speedup']:.1f})  "
@@ -225,6 +266,10 @@ def main() -> int:
             ratio = py_s / np_s if np_s else 0.0
             print(f"    {phase:10s} python {1e3 * py_s:8.2f}ms  "
                   f"numpy {1e3 * np_s:8.2f}ms  (x{ratio:.1f})")
+        print(f"    {'cg solve':10s} "
+              f"seq    {1e3 * record['cg_sequential_seconds']:8.2f}ms  "
+              f"paired {1e3 * record['cg_paired_seconds']:8.2f}ms  "
+              f"(x{record['cg_speedup']:.2f})")
 
     speedup = py_total / np_total if np_total else 0.0
     record = {
@@ -241,6 +286,10 @@ def main() -> int:
         "python_seconds": round(py_total, 6),
         "numpy_seconds": round(np_total, 6),
         "speedup": round(speedup, 3),
+        "cg_sequential_seconds": round(cg_seq_total, 6),
+        "cg_paired_seconds": round(cg_pair_total, 6),
+        "cg_speedup": round(cg_seq_total / cg_pair_total, 3)
+                      if cg_pair_total else 0.0,
         "results_identical": all_identical,
         "per_design": per_design,
     }
@@ -254,6 +303,9 @@ def main() -> int:
     print(f"python {1e3 * py_total:8.2f}ms")
     print(f"numpy  {1e3 * np_total:8.2f}ms  (x{speedup:.2f} wall-clock "
           "win)")
+    cg_speedup = record["cg_speedup"]
+    print(f"cg solve: sequential {1e3 * cg_seq_total:8.2f}ms  paired "
+          f"{1e3 * cg_pair_total:8.2f}ms  (x{cg_speedup:.2f})")
     print(f"results identical: {all_identical}")
     print(f"wrote {out}")
 

@@ -89,14 +89,11 @@ class HiDaP:
 
         start = time.perf_counter()
         die = Rect(0.0, 0.0, float(die_width), float(die_height))
-        artifacts = RunArtifacts(die=die, config=self.config,
-                                 flow_name=flow_name, gnet=gnet,
-                                 gseq=gseq, tree=tree)
-        if isinstance(design, FlatDesign):
-            artifacts.flat = design
-            artifacts.design = design.design
-        else:
-            artifacts.design = design
+        flat = design if isinstance(design, FlatDesign) else None
+        artifacts = RunArtifacts(
+            die=die, config=self.config, flow_name=flow_name,
+            design=design.design if flat is not None else design,
+            flat=flat, gnet=gnet, gseq=gseq, tree=tree)
 
         pipeline = build_hidap_pipeline(observers=self.observers)
         # Expose the record before running so partially filled

@@ -82,10 +82,12 @@ def evaluate_placement(flat: FlatDesign, placement: MacroPlacement,
     counters["referee_backend"] = resolved.name
 
     def timed(key, fn):
-        start = time.perf_counter()
+        # Wall-clock feeds the referee_*_us observability counters
+        # only — it never reaches a metric value or an RNG stream.
+        start = time.perf_counter()  # repro: noqa[REP006] counters only
         result = fn()
         counters[key] = counters.get(key, 0) + int(
-            1e6 * (time.perf_counter() - start))
+            1e6 * (time.perf_counter() - start))  # repro: noqa[REP006]
         return result
 
     cells = timed("referee_stdcell_us",

@@ -42,6 +42,7 @@ from repro.metrics.backends import (
     get_backend,
     register_backend,
     set_default_backend,
+    unregister_backend,
 )
 from repro.metrics.netarrays import (
     NetArrays,
@@ -85,4 +86,5 @@ __all__ = [
     "set_default_backend",
     "stdcell_arrays_for",
     "timing_arrays_for",
+    "unregister_backend",
 ]

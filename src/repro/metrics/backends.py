@@ -223,6 +223,23 @@ def register_backend(backend: RefereeBackend, *,
     _BACKENDS[name] = backend
 
 
+def unregister_backend(name: str) -> None:
+    """Remove ``name`` from the registry (test/plugin cleanup).
+
+    The built-in ``python``/``numpy`` backends may be removed too —
+    callers doing so are expected to re-register them.  Removing the
+    process-wide default resets the default to ``numpy``.
+    """
+    global _DEFAULT
+    if name not in _BACKENDS:
+        raise MetricsBackendError(
+            f"unknown referee backend {name!r}; "
+            f"available: {', '.join(available_backends()) or '<none>'}")
+    del _BACKENDS[name]
+    if _DEFAULT == name:
+        _DEFAULT = None
+
+
 def available_backends() -> Tuple[str, ...]:
     """Sorted names of every registered referee backend."""
     return tuple(sorted(_BACKENDS))

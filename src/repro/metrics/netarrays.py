@@ -149,8 +149,8 @@ def compile_net_arrays(flat: FlatDesign) -> NetArrays:
 
 def _fingerprint(flat: FlatDesign) -> Tuple[int, int, int]:
     """Cheap staleness check for the per-design compile cache."""
-    rows = sum(len(net.endpoints) + len(net.top_ports)
-               for net in flat.nets)
+    rows = sum(  # repro: noqa[REP003] integer count, exact in any order
+        len(net.endpoints) + len(net.top_ports) for net in flat.nets)
     return (len(flat.cells), len(flat.nets), rows)
 
 

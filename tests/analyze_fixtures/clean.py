@@ -1,0 +1,14 @@
+"""Fixture: no findings — seeded RNG, ordered iteration, int counts."""
+
+import random
+
+
+def shuffled(items, seed):
+    rng = random.Random(seed)
+    ordered = sorted(items)
+    rng.shuffle(ordered)
+    return ordered
+
+
+def count_rows(matrix):
+    return int(matrix.sum())

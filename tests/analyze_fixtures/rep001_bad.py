@@ -1,0 +1,10 @@
+"""Fixture: REP001 — draws from process-global RNG state."""
+
+import random
+
+import numpy as np
+
+
+def jitter(scale):
+    noise = random.random() * scale
+    return noise + np.random.rand()

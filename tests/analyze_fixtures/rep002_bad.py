@@ -1,0 +1,9 @@
+"""Fixture: REP002 — iteration over unordered sets."""
+
+
+def first_three(names):
+    pending = {name.strip() for name in names}
+    ordered = list(pending)
+    for name in pending:
+        ordered.append(name)
+    return ordered[:3]

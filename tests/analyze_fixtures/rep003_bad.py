@@ -1,0 +1,7 @@
+"""Fixture: REP003 — unordered float reductions in kernel code."""
+
+import numpy as np
+
+
+def total_length(spans, weights):
+    return sum(spans) + np.sum(weights) + weights.sum()

@@ -1,0 +1,7 @@
+"""Fixture: REP005 — mutating a frozen artifact record."""
+
+
+def sneak_results(artifacts, placement):
+    artifacts.placement = placement
+    artifacts.curves["extra"] = None
+    artifacts.flipped_macros.append(3)

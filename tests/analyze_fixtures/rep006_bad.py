@@ -1,0 +1,10 @@
+"""Fixture: REP006 — wall-clock and environment reads."""
+
+import os
+import time
+
+
+def cost_scale():
+    noise = time.time()
+    budget = os.getenv("REPRO_BUDGET", "0")
+    return noise + float(budget) + len(os.environ)

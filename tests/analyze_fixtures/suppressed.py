@@ -1,0 +1,9 @@
+"""Fixture: a finding silenced by noqa, plus an unused suppression."""
+
+import random
+
+LIMIT = len("abc")  # repro: noqa[REP003] matches nothing: unused
+
+
+def jitter():
+    return random.random()  # repro: noqa[REP001] fixture-only draw

@@ -1,0 +1,203 @@
+"""repro-analyze self-tests: every REP rule vs known-bad fixtures.
+
+The fixtures under ``tests/analyze_fixtures/`` each violate exactly one
+rule (plus a clean file and a suppressed file); the tests run the
+analyzer over them with ``context="all"`` so path scoping does not get
+in the way, and exercise the suppression table, the baseline round-trip,
+the JSON report, the REP004 registry introspection (by deliberately
+registering an incomplete backend) and the shared lint configuration.
+"""
+
+import json
+from pathlib import Path
+
+from tools.analyze import analyze_paths, check_backend, check_registry
+from tools.analyze.driver import REPO, main
+from tools.analyze.lintrules import load_lint_config
+from tools.analyze.reporting import to_json_dict
+from tools.analyze.rules import RULES
+
+from repro.metrics import (
+    RefereeBackend,
+    register_backend,
+    unregister_backend,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "analyze_fixtures"
+
+
+def analyze_fixture(name, **kwargs):
+    kwargs.setdefault("context", "all")
+    kwargs.setdefault("contracts", False)
+    return analyze_paths([str(FIXTURES / name)], **kwargs)
+
+
+def rules_hit(report):
+    return {finding.rule for finding in report.findings}
+
+
+# -- the AST rules, one known-bad fixture each ------------------------------
+
+def test_rep001_flags_global_rng_draws():
+    report = analyze_fixture("rep001_bad.py")
+    assert rules_hit(report) == {"REP001"}
+    # random.random() and np.random.rand(), alias resolved to numpy.
+    assert len(report.findings) == 2
+    assert any("numpy.random.rand" in finding.message
+               for finding in report.findings)
+
+
+def test_rep002_flags_set_iteration():
+    report = analyze_fixture("rep002_bad.py")
+    assert rules_hit(report) == {"REP002"}
+    # list(pending) and the for loop over the set-comprehension binding.
+    assert len(report.findings) == 2
+
+
+def test_rep003_flags_unordered_reductions():
+    report = analyze_fixture("rep003_bad.py")
+    assert rules_hit(report) == {"REP003"}
+    # sum(...), np.sum(...) and the .sum() method call.
+    assert len(report.findings) == 3
+
+
+def test_rep005_flags_artifact_mutation():
+    report = analyze_fixture("rep005_bad.py")
+    assert rules_hit(report) == {"REP005"}
+    # Attribute assign, subscript store and .append() on a field.
+    assert len(report.findings) == 3
+
+
+def test_rep006_flags_wall_clock_and_env():
+    report = analyze_fixture("rep006_bad.py")
+    assert rules_hit(report) == {"REP006"}
+    # time.time(), os.getenv() and the os.environ read.
+    assert len(report.findings) == 3
+
+
+def test_clean_fixture_has_no_findings():
+    report = analyze_fixture("clean.py")
+    assert report.ok
+    assert not report.findings
+    assert not report.suppressed
+
+
+def test_inline_suppression_and_unused_warning():
+    report = analyze_fixture("suppressed.py")
+    assert report.ok
+    assert [finding.rule for finding in report.suppressed] == ["REP001"]
+    assert [(line, code) for _path, line, code
+            in report.unused_suppressions] == [(5, "REP003")]
+
+
+# -- REP004: backend-contract introspection ---------------------------------
+
+class _IncompleteBackend(RefereeBackend):
+    """Deliberately missing hpwl/congestion/affinity_distance."""
+
+    name = "rep004-fixture"
+
+
+def test_rep004_direct_defects_name_the_stub_kernels():
+    defects = check_backend(_IncompleteBackend())
+    assert len(defects) == 3
+    for kernel in ("hpwl", "congestion", "affinity_distance"):
+        assert any(kernel in defect for defect in defects)
+
+
+def test_rep004_registry_flags_a_registered_incomplete_backend():
+    register_backend(_IncompleteBackend())
+    try:
+        findings = check_registry(REPO)
+        assert findings, "incomplete backend must produce REP004"
+        assert all(finding.rule == "REP004" for finding in findings)
+        assert all("rep004-fixture" in finding.message
+                   for finding in findings)
+    finally:
+        unregister_backend("rep004-fixture")
+
+
+def test_rep004_builtin_registry_is_contract_complete():
+    assert check_registry(REPO) == []
+
+
+# -- the production gate ----------------------------------------------------
+
+def test_src_tree_is_analyzer_clean():
+    report = analyze_paths(("src",), context="auto", contracts=True)
+    assert report.ok, [finding.location() for finding in report.findings]
+    assert not report.unused_suppressions
+
+
+def test_every_rule_is_registered():
+    assert set(RULES) == {"REP001", "REP002", "REP003", "REP004",
+                          "REP005", "REP006"}
+
+
+# -- baseline round-trip through the CLI ------------------------------------
+
+def test_baseline_roundtrip(tmp_path, capsys):
+    fixture = str(FIXTURES / "rep001_bad.py")
+    baseline = tmp_path / "baseline.json"
+    argv = [fixture, "--context", "all", "--no-contracts",
+            "--baseline", str(baseline)]
+
+    assert main(argv) == 1          # unbaselined findings gate
+    assert main(argv + ["--write-baseline"]) == 0
+    assert main(argv) == 0          # same findings now grandfathered
+    capsys.readouterr()
+
+    report = analyze_fixture("rep001_bad.py", baseline_path=baseline)
+    assert report.ok
+    assert len(report.baselined) == 2
+
+
+def test_baseline_survives_line_shift(tmp_path):
+    source = (FIXTURES / "rep001_bad.py").read_text()
+    moved = tmp_path / "moved.py"
+    moved.write_text(source)
+    baseline = tmp_path / "baseline.json"
+    assert main([str(moved), "--context", "all", "--no-contracts",
+                 "--baseline", str(baseline), "--write-baseline"]) == 0
+
+    # Content-keyed entries: inserting lines above must not resurface.
+    moved.write_text("# shifted\n# shifted again\n" + source)
+    report = analyze_paths([str(moved)], context="all", contracts=False,
+                           baseline_path=baseline)
+    assert report.ok
+    assert len(report.baselined) == 2
+
+
+# -- machine-readable report ------------------------------------------------
+
+def test_json_report_schema(tmp_path):
+    out = tmp_path / "report.json"
+    assert main([str(FIXTURES / "rep003_bad.py"), "--context", "all",
+                 "--no-contracts", "--json", "--json-out",
+                 str(out)]) == 1
+    data = json.loads(out.read_text())
+    assert data["tool"] == "repro-analyze"
+    assert data["ok"] is False
+    assert data["counts"]["findings"] == 3
+    assert set(data["rules"]) == set(RULES)
+    first = data["findings"][0]
+    assert {"rule", "path", "line", "col", "message"} <= set(first)
+
+
+def test_to_json_dict_matches_report():
+    report = analyze_fixture("clean.py")
+    data = to_json_dict(report)
+    assert data["ok"] is True
+    assert data["findings"] == []
+
+
+# -- the shared lint configuration ------------------------------------------
+
+def test_lint_config_single_source_of_truth():
+    config = load_lint_config()
+    assert config.line_length == 88
+    assert config.enabled("E501", Path("src/repro/x.py"))
+    assert config.enabled("E999", Path("x.py"))       # E9 prefix
+    assert config.enabled("F401", Path("src/repro/module.py"))
+    assert not config.enabled("F401", Path("src/repro/__init__.py"))
+    assert not config.enabled("F841", Path("x.py"))   # not selected

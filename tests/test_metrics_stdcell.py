@@ -150,3 +150,48 @@ class TestDegenerateInputs:
         assert np.array_equal(ref[0].toarray(), new[0].toarray())
         assert np.array_equal(ref[1], new[1])
         assert np.array_equal(ref[2], new[2])
+
+
+class TestPairedCgSolver:
+    """The paired x/y CG loop is bit-identical to sequential scipy."""
+
+    @pytest.mark.parametrize("name", ["c1", "c2"])
+    def test_matches_sequential_scipy_solves(self, name):
+        from scipy.sparse.linalg import cg
+
+        from repro.api import get_flow
+        from repro.api.prepared import prepare_suite_design
+        from repro.placement.stdcell import solve_quadratic_xy
+
+        prepared = prepare_suite_design(name, "tiny")
+        flat = prepared.flat
+        placement = get_flow("indeda", seed=1).place(prepared)
+        ports = assign_port_positions(flat.design, placement.die)
+        clustered = clustered_for(flat)
+        config = PlacerConfig()
+        laplacian, bx, by = get_backend("numpy").stdcell_system(
+            flat, placement, ports, config, clustered)
+        x0 = np.full(clustered.n_clusters, placement.die.center.x)
+        y0 = np.full(clustered.n_clusters, placement.die.center.y)
+
+        ref_x, _ = cg(laplacian, bx, x0=x0, rtol=config.cg_tol,
+                      maxiter=config.cg_maxiter)
+        ref_y, _ = cg(laplacian, by, x0=y0, rtol=config.cg_tol,
+                      maxiter=config.cg_maxiter)
+        x, y = solve_quadratic_xy(laplacian, bx, by, x0, y0,
+                                  rtol=config.cg_tol,
+                                  maxiter=config.cg_maxiter)
+        assert np.array_equal(ref_x, x)
+        assert np.array_equal(ref_y, y)
+
+    def test_zero_rhs_short_circuits(self):
+        from scipy.sparse import identity
+
+        from repro.placement.stdcell import solve_quadratic_xy
+
+        eye = identity(4, format="csr")
+        b = np.zeros(4)
+        x, y = solve_quadratic_xy(eye, b, np.ones(4), np.ones(4),
+                                  np.zeros(4))
+        assert np.array_equal(x, np.zeros(4))
+        assert np.allclose(y, np.ones(4))

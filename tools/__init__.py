@@ -1,0 +1,1 @@
+"""Repo tooling: the lint gate and the repro-analyze static analyzer."""

@@ -1,0 +1,70 @@
+"""repro-analyze: determinism & backend-contract static analysis.
+
+The repo's load-bearing guarantees — bit-identical referee backends,
+seed-deterministic flows and restarts, read-only ``RunArtifacts`` /
+``PreparedDesign`` views — are enforced at runtime by the equivalence
+suites.  This package proves the same contracts at *lint time*, before
+any kernel runs, with an AST-based analyzer and a registry
+introspection pass:
+
+* **REP001** unseeded / process-global RNG (``random.*`` module
+  functions, ``np.random.*`` global state);
+* **REP002** iteration over unordered sets (and dict-view algebra) in
+  cost/kernel packages without an explicit ordering;
+* **REP003** unordered float reductions (``sum``/``np.sum``) in
+  ``repro.metrics`` kernels, where the backend bit-identity contract
+  requires sequential ``cumsum`` / ordered ``np.add.at``;
+* **REP004** backend-contract completeness: every backend registered in
+  :mod:`repro.metrics` implements all five referee kernels with
+  oracle-matching signatures;
+* **REP005** mutation of frozen artifact records outside their owning
+  modules;
+* **REP006** wall-clock / environment reads inside kernel and
+  cost-model code.
+
+Run it as ``python -m tools.analyze`` or ``make analyze``; suppress an
+intentional finding inline with ``# repro: noqa[REPxxx] why``; the
+committed ``baseline.json`` grandfathers transitional debt.  The
+:mod:`tools.analyze.lintrules` module also hosts the builtin lint
+fallback shared with ``tools/lint.py`` (one rule source of truth:
+``pyproject.toml``).
+"""
+
+import sys
+from pathlib import Path
+
+# Make absolute ``tools.analyze.*`` imports work when the package is
+# imported with only the repo root's parent on sys.path.
+_REPO = Path(__file__).resolve().parent.parent.parent
+if str(_REPO) not in sys.path:
+    sys.path.insert(0, str(_REPO))
+
+from tools.analyze.rules import (  # noqa: E402
+    RULES,
+    Finding,
+    Rule,
+    SuppressionTable,
+    all_rules,
+    register_rule,
+)
+from tools.analyze import visitors  # noqa: E402,F401 - registers rules
+from tools.analyze import contracts  # noqa: E402,F401 - registers REP004
+from tools.analyze.contracts import check_backend, check_registry  # noqa: E402
+from tools.analyze.driver import analyze_paths, main  # noqa: E402
+from tools.analyze.reporting import Report, render_human, render_json  # noqa: E402
+
+__all__ = [
+    "Finding",
+    "Report",
+    "RULES",
+    "Rule",
+    "SuppressionTable",
+    "all_rules",
+    "analyze_paths",
+    "check_backend",
+    "check_registry",
+    "main",
+    "register_rule",
+    "render_human",
+    "render_json",
+]

@@ -1,0 +1,6 @@
+"""``python -m tools.analyze`` entry point."""
+
+from tools.analyze.driver import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

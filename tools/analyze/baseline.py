@@ -1,0 +1,68 @@
+"""The committed baseline of grandfathered findings.
+
+The baseline lets the analyzer gate CI from day one: known findings are
+recorded once (``--write-baseline``) and matched *by content* — rule,
+path and the stripped source-line text — so unrelated edits that shift
+line numbers never invalidate an entry, while editing the flagged line
+itself surfaces the finding again.  Entries are consumed one-for-one,
+so two identical violations need two entries.  The project keeps the
+baseline empty whenever possible: intentional violations carry an
+inline ``# repro: noqa[REPxxx]`` justification instead (see ISSUE /
+ROADMAP), and the baseline exists for genuinely transitional debt.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from tools.analyze.rules import Finding
+
+VERSION = 1
+
+
+def entry_key(finding: Finding,
+              line_text: str) -> Tuple[str, str, str]:
+    return (finding.rule, finding.path, line_text.strip())
+
+
+def load_baseline(path: Path) -> Counter:
+    """Multiset of baseline entries; empty when the file is absent."""
+    if not path.exists():
+        return Counter()
+    data = json.loads(path.read_text())
+    entries = Counter()
+    for entry in data.get("entries", ()):
+        entries[(entry["rule"], entry["path"], entry["text"])] += 1
+    return entries
+
+
+def write_baseline(path: Path,
+                   findings: Sequence[Tuple[Finding, str]]) -> None:
+    """Persist ``(finding, line_text)`` pairs as the new baseline."""
+    entries: List[Dict[str, str]] = []
+    for finding, line_text in sorted(
+            findings, key=lambda pair: (pair[0].path, pair[0].line,
+                                        pair[0].rule)):
+        rule, rel, text = entry_key(finding, line_text)
+        entries.append({"rule": rule, "path": rel, "text": text})
+    payload = {"version": VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+
+
+def split_baselined(findings: Sequence[Tuple[Finding, str]],
+                    baseline: Counter):
+    """Partition into (active, baselined), consuming baseline entries."""
+    remaining = Counter(baseline)
+    active: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding, line_text in findings:
+        key = entry_key(finding, line_text)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            active.append(finding)
+    return active, grandfathered

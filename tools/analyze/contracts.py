@@ -1,0 +1,129 @@
+"""REP004: backend-contract completeness via registry introspection.
+
+Imports :mod:`repro.metrics` and proves, for every registered referee
+backend, that all five kernels — ``stdcell_system``, ``hpwl``,
+``congestion``, ``timing``, ``affinity_distance`` — are implemented
+with oracle-matching signatures.  "Implemented" means the method either
+overrides the base class or inherits one of the base *reference*
+implementations (``stdcell_system``/``timing`` delegate to the python
+oracle, which is bit-identical by contract); inheriting a
+``NotImplementedError`` stub (``hpwl``/``congestion``/
+``affinity_distance``) fails the contract.  Signatures must lead with
+the oracle's parameter names in the oracle's order, so a backend can
+add trailing keyword knobs but can never silently reorder or rename
+the referee's calling convention.
+
+Run ``make analyze`` (or ``python -m tools.analyze``) after
+``register_backend`` while developing a new backend: REP004 findings
+name the backend, the kernel and the defect.
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+from typing import List
+
+from tools.analyze.rules import Finding, Rule, register_rule
+
+#: The five referee kernels every backend owns.
+KERNELS = ("stdcell_system", "hpwl", "congestion", "timing",
+           "affinity_distance")
+#: Kernels whose base implementation is a stub raising
+#: ``NotImplementedError`` — these must be overridden.
+STUB_KERNELS = ("hpwl", "congestion", "affinity_distance")
+
+
+def _signature_defect(base_cls, backend_cls, kernel: str):
+    """Mismatch description, or ``None`` when signatures line up."""
+    oracle = [name for name in
+              inspect.signature(getattr(base_cls, kernel)).parameters][1:]
+    impl_sig = inspect.signature(getattr(backend_cls, kernel))
+    params = list(impl_sig.parameters.values())[1:]
+    if any(p.kind in (inspect.Parameter.VAR_POSITIONAL,
+                      inspect.Parameter.VAR_KEYWORD) for p in params):
+        return None
+    names = [p.name for p in params]
+    if names[:len(oracle)] != oracle:
+        return (f"signature ({', '.join(names)}) does not lead with "
+                f"the oracle parameters ({', '.join(oracle)})")
+    for extra in params[len(oracle):]:
+        if extra.default is inspect.Parameter.empty:
+            return (f"extra parameter {extra.name!r} has no default; "
+                    "the referee calls kernels with oracle arguments "
+                    "only")
+    return None
+
+
+def check_backend(backend, base_cls=None) -> List[str]:
+    """Human-readable contract defects for one backend instance."""
+    if base_cls is None:
+        from repro.metrics import RefereeBackend as base_cls
+    defects: List[str] = []
+    name = getattr(backend, "name", None)
+    if not name or not isinstance(name, str):
+        defects.append("backend has no usable .name")
+    cls = type(backend)
+    for kernel in KERNELS:
+        method = getattr(cls, kernel, None)
+        if method is None or not callable(method):
+            defects.append(f"kernel {kernel!r} is missing")
+            continue
+        if kernel in STUB_KERNELS \
+                and method is getattr(base_cls, kernel):
+            defects.append(
+                f"kernel {kernel!r} inherits the base-class stub "
+                "(raises NotImplementedError at referee time)")
+            continue
+        mismatch = _signature_defect(base_cls, cls, kernel)
+        if mismatch is not None:
+            defects.append(f"kernel {kernel!r}: {mismatch}")
+    return defects
+
+
+def check_registry(repo: Path) -> List[Finding]:
+    """REP004 findings over every backend registered right now."""
+    fallback = "src/repro/metrics/backends.py"
+    try:
+        from repro.metrics import (RefereeBackend, available_backends,
+                                   get_backend)
+    except Exception as error:  # pragma: no cover - import environment
+        return [Finding("REP004", fallback, 1, 0,
+                        "cannot introspect the referee backend "
+                        f"registry: {error!r}")]
+
+    findings: List[Finding] = []
+    for name in available_backends():
+        backend = get_backend(name)
+        defects = check_backend(backend, RefereeBackend)
+        if not defects:
+            continue
+        path, line = fallback, 1
+        try:
+            source = inspect.getsourcefile(type(backend))
+            if source:
+                resolved = Path(source).resolve()
+                path = resolved.relative_to(repo).as_posix() \
+                    if resolved.is_relative_to(repo) else str(resolved)
+            _, line = inspect.getsourcelines(type(backend))
+        except (OSError, TypeError, ValueError):
+            pass
+        for defect in defects:
+            findings.append(Finding(
+                "REP004", path, line, 0,
+                f"referee backend {name!r}: {defect}"))
+    return findings
+
+
+class Rep004BackendContract(Rule):
+    """Every registered referee backend implements the full contract."""
+
+    code = "REP004"
+    title = "incomplete referee backend contract"
+    project_rule = True
+
+    def check_project(self, repo) -> List[Finding]:
+        return check_registry(Path(repo))
+
+
+register_rule(Rep004BackendContract())

@@ -1,0 +1,191 @@
+"""Analyzer driver: file collection, orchestration, CLI.
+
+``python -m tools.analyze [paths...]`` (default target: ``src``) parses
+every ``*.py`` under the targets, runs each registered AST rule in its
+scope, applies inline ``# repro: noqa[REPxxx]`` suppressions and the
+committed baseline, runs the project rules (REP004 backend-contract
+introspection), and exits 1 on any unbaselined finding.  ``--json``
+prints the machine-readable report; ``--json-out`` additionally writes
+it to a file (CI uploads it next to the ``BENCH_*.json`` artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from tools.analyze import baseline as baseline_mod
+from tools.analyze.reporting import (Report, render_human, render_json,
+                                     to_json_dict)
+from tools.analyze.rules import Finding, SuppressionTable, all_rules
+
+REPO = Path(__file__).resolve().parent.parent.parent
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def _ensure_importable() -> None:
+    """Make ``repro`` (REP004) and ``tools`` importable everywhere."""
+    for entry in (str(REPO / "src"), str(REPO)):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def collect_files(targets: Sequence[str],
+                  repo: Path = REPO) -> List[Path]:
+    """Every ``*.py`` file under the targets, sorted and deduped."""
+    files: List[Path] = []
+    seen = set()
+    for target in targets:
+        path = Path(target)
+        if not path.is_absolute():
+            path = repo / target
+        if path.is_file():
+            candidates = [path]
+        else:
+            candidates = sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if "__pycache__" in resolved.parts or resolved in seen:
+                continue
+            seen.add(resolved)
+            files.append(resolved)
+    return files
+
+
+def _relpath(path: Path, repo: Path) -> str:
+    try:
+        return path.relative_to(repo).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_paths(targets: Sequence[str] = ("src",), *,
+                  repo: Path = REPO, context: str = "auto",
+                  contracts: bool = True,
+                  baseline_path: Optional[Path] = None) -> Report:
+    """Run every rule over ``targets`` and return the full report.
+
+    ``context="auto"`` honours each rule's path scope (the production
+    gate); ``context="all"`` applies every rule to every file (used by
+    the self-tests so fixtures outside ``src/`` exercise scoped
+    rules).  ``contracts=False`` skips the REP004 registry
+    introspection.
+    """
+    _ensure_importable()
+    report = Report(targets=list(targets), context=context)
+    raw: List[Tuple[Finding, str]] = []
+
+    for path in collect_files(targets, repo):
+        relpath = _relpath(path, repo)
+        report.files.append(relpath)
+        text = path.read_text()
+        lines = text.splitlines()
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as error:
+            raw.append((Finding("REP000", relpath, error.lineno or 1,
+                                error.offset or 0,
+                                f"file does not parse: {error.msg}"),
+                        ""))
+            continue
+        suppressions = SuppressionTable.parse(lines)
+        for rule in all_rules():
+            if rule.project_rule:
+                continue
+            if context != "all" and not rule.applies(relpath):
+                continue
+            for finding in rule.check(tree, relpath, lines):
+                if suppressions.suppresses(finding):
+                    report.suppressed.append(finding)
+                    continue
+                line_text = (lines[finding.line - 1]
+                             if 0 < finding.line <= len(lines) else "")
+                raw.append((finding, line_text))
+        for line, code in suppressions.unused():
+            report.unused_suppressions.append((relpath, line, code))
+
+    if contracts:
+        for rule in all_rules():
+            if not rule.project_rule:
+                continue
+            for finding in rule.check_project(repo):
+                raw.append((finding, ""))
+
+    entries = baseline_mod.load_baseline(
+        baseline_path if baseline_path is not None else DEFAULT_BASELINE)
+    active, grandfathered = baseline_mod.split_baselined(raw, entries)
+    report.findings.extend(active)
+    report.baselined.extend(grandfathered)
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyze",
+        description="repro-analyze: determinism & backend-contract "
+                    "static analyzer (rules REP001-REP006)")
+    parser.add_argument("targets", nargs="*", default=["src"],
+                        help="files or directories (default: src)")
+    parser.add_argument("--context", choices=("auto", "all"),
+                        default="auto",
+                        help="auto = honour per-rule path scopes; "
+                             "all = run every rule everywhere")
+    parser.add_argument("--no-contracts", action="store_true",
+                        help="skip REP004 backend-registry "
+                             "introspection")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default: "
+                             "tools/analyze/baseline.json)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from current "
+                             "findings and exit 0")
+    parser.add_argument("--show-baselined", action="store_true",
+                        help="also print grandfathered findings")
+    parser.add_argument("--json", action="store_true",
+                        help="print the JSON report instead of text")
+    parser.add_argument("--json-out", default=None,
+                        help="also write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    report = analyze_paths(
+        args.targets, context=args.context,
+        contracts=not args.no_contracts, baseline_path=baseline_path)
+
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        pairs = []
+        for finding in report.findings + report.baselined:
+            source = REPO / finding.path
+            text = ""
+            if source.exists() and finding.line > 0:
+                lines = source.read_text().splitlines()
+                if finding.line <= len(lines):
+                    text = lines[finding.line - 1]
+            pairs.append((finding, text))
+        baseline_mod.write_baseline(target, pairs)
+        print(f"wrote {len(pairs)} baseline entries to {target}")
+        return 0
+
+    if args.json_out:
+        out = Path(args.json_out)
+        if not out.is_absolute():
+            out = REPO / out
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(render_json(report) + "\n")
+
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_human(report, show_baselined=args.show_baselined))
+        if args.json_out:
+            print(f"json report: {args.json_out}")
+    return 0 if report.ok else 1
+
+
+# Re-exported for callers that import the driver directly.
+__all__ = ["analyze_paths", "collect_files", "main", "Report",
+           "to_json_dict", "REPO", "DEFAULT_BASELINE"]

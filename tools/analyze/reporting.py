@@ -1,0 +1,79 @@
+"""Human and JSON rendering of an analysis report."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from tools.analyze.rules import RULES, Finding
+
+
+@dataclass
+class Report:
+    """Everything one analyzer invocation decided."""
+
+    targets: List[str] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+    context: str = "auto"
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    #: ``(path, line, code)`` of ``# repro: noqa[...]`` entries that
+    #: matched no finding.
+    unused_suppressions: List[Tuple[str, int, str]] = \
+        field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        return {"files": len(self.files),
+                "findings": len(self.findings),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+                "unused_suppressions": len(self.unused_suppressions)}
+
+
+def to_json_dict(report: Report) -> Dict[str, object]:
+    return {
+        "tool": "repro-analyze",
+        "version": 1,
+        "targets": report.targets,
+        "context": report.context,
+        "rules": {code: RULES[code].title for code in sorted(RULES)},
+        "counts": report.counts(),
+        "ok": report.ok,
+        "findings": [f.to_dict() for f in report.findings],
+        "baselined": [f.to_dict() for f in report.baselined],
+        "suppressed": [f.to_dict() for f in report.suppressed],
+        "unused_suppressions": [
+            {"path": path, "line": line, "rule": code}
+            for path, line, code in report.unused_suppressions],
+    }
+
+
+def render_json(report: Report) -> str:
+    return json.dumps(to_json_dict(report), indent=1)
+
+
+def render_human(report: Report, show_baselined: bool = False) -> str:
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(f"{finding.location()}: {finding.rule} "
+                     f"{finding.message}")
+    if show_baselined:
+        for finding in report.baselined:
+            lines.append(f"{finding.location()}: {finding.rule} "
+                         f"{finding.message} [baselined]")
+    for path, line, code in report.unused_suppressions:
+        lines.append(f"{path}:{line}: warning: unused suppression "
+                     f"repro: noqa[{code}]")
+    counts = report.counts()
+    label = "finding" if counts["findings"] == 1 else "findings"
+    lines.append(
+        f"repro-analyze: {counts['findings']} {label} "
+        f"({counts['baselined']} baselined, {counts['suppressed']} "
+        f"suppressed) across {counts['files']} files")
+    return "\n".join(lines)

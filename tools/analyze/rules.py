@@ -1,0 +1,132 @@
+"""Finding/rule model, the rule registry and inline suppressions.
+
+Every check the analyzer runs is a :class:`Rule` registered in
+:data:`RULES`.  AST rules implement :meth:`Rule.check` over one parsed
+file; project rules (``REP004``) implement :meth:`Rule.check_project`
+and run once per invocation.  A rule owns its *scope*: the
+repo-relative path prefixes where its contract is load-bearing.  The
+driver consults the scope in ``context="auto"`` mode and ignores it in
+``context="all"`` mode (used by the self-tests so fixture files outside
+``src/`` still trigger scoped rules).
+
+Suppressions are inline comments of the form::
+
+    risky_line()  # repro: noqa[REP001] seeded upstream by the caller
+
+The bracket lists one or more comma-separated rule codes; everything
+after the bracket is the (expected) one-line justification.  A bare
+``# repro: noqa`` without codes is intentionally *not* honoured — every
+suppression names the contract it waives.  Suppressions that match no
+finding are reported as warnings so stale waivers cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: ``# repro: noqa[REP001]`` / ``# repro: noqa[REP001,REP005] why``.
+NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding, anchored to a repo-relative location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+class Rule:
+    """Base class for one analyzer rule.
+
+    ``paths`` lists the repo-relative prefixes the rule polices; an
+    empty tuple means every analyzed file.  ``code``/``title`` identify
+    the rule in reports and suppressions.
+    """
+
+    code = "REP000"
+    title = "base rule"
+    #: Repo-relative path prefixes (POSIX) the rule applies to.
+    paths: Tuple[str, ...] = ()
+    #: Project rules run once per invocation, not per file.
+    project_rule = False
+
+    def applies(self, relpath: str) -> bool:
+        if not self.paths:
+            return True
+        return any(relpath == prefix or relpath.startswith(prefix + "/")
+                   for prefix in self.paths)
+
+    def check(self, tree, relpath: str,
+              lines: Sequence[str]) -> List[Finding]:
+        """AST rules: findings for one parsed file."""
+        return []
+
+    def check_project(self, repo) -> List[Finding]:
+        """Project rules: findings for the whole invocation."""
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Rule {self.code}: {self.title}>"
+
+
+#: The registry, in rule-code order.
+RULES: Dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Register ``rule`` under ``rule.code`` (one instance per code)."""
+    if rule.code in RULES:
+        raise ValueError(f"analyzer rule {rule.code!r} already registered")
+    RULES[rule.code] = rule
+    return rule
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, sorted by code."""
+    return tuple(RULES[code] for code in sorted(RULES))
+
+
+@dataclass
+class SuppressionTable:
+    """Per-file map of line number -> suppressed rule codes."""
+
+    codes_by_line: Dict[int, List[str]] = field(default_factory=dict)
+    used: Dict[Tuple[int, str], bool] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, lines: Sequence[str]) -> "SuppressionTable":
+        table = cls()
+        for number, text in enumerate(lines, start=1):
+            if "#" not in text:
+                continue
+            for match in NOQA_RE.finditer(text):
+                codes = [code.strip().upper()
+                         for code in match.group(1).split(",")
+                         if code.strip()]
+                table.codes_by_line.setdefault(number, []).extend(codes)
+                for code in codes:
+                    table.used.setdefault((number, code), False)
+        return table
+
+    def suppresses(self, finding: Finding) -> bool:
+        codes = self.codes_by_line.get(finding.line, ())
+        if finding.rule in codes:
+            self.used[(finding.line, finding.rule)] = True
+            return True
+        return False
+
+    def unused(self) -> List[Tuple[int, str]]:
+        return sorted(key for key, hit in self.used.items() if not hit)

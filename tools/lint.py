@@ -1,119 +1,32 @@
 #!/usr/bin/env python
 """The repo lint gate (``make lint``).
 
-Runs ``ruff check`` (configuration in ``pyproject.toml``) when ruff is
-installed — the CI path.  Containers without ruff fall back to a
-builtin checker implementing the same selected rules, so the gate means
-the same thing everywhere:
-
-* E9    syntax / compile errors
-* E501  line longer than the configured limit
-* W291/W293  trailing whitespace
-* W292  missing newline at end of file
-* F401  module-level import bound but never used
-
-The fallback intentionally stays a subset: anything it flags, ruff
-flags too, so a green local run cannot go red in CI for a rule the
-container could not evaluate.
+Runs ``ruff check`` when ruff is installed — the CI path.  Containers
+without ruff fall back to the builtin checker in
+:mod:`tools.analyze.lintrules`, which implements a subset of the same
+rules and reads the *same* ``[tool.ruff]`` configuration from
+``pyproject.toml`` — one source of truth, so local and CI lint can
+never diverge on the rule set.
 """
 
 from __future__ import annotations
 
-import ast
 import shutil
 import subprocess
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-TARGETS = ("src", "tests", "benchmarks", "examples", "tools")
-LINE_LIMIT = 88
+if str(REPO) not in sys.path:
+    sys.path.insert(0, str(REPO))
+
+from tools.analyze.lintrules import TARGETS, run_fallback  # noqa: E402
 
 
 def run_ruff(command) -> int:
     """Delegate to ruff (the authoritative implementation)."""
     return subprocess.call(
         [*command, "check", *(str(REPO / target) for target in TARGETS)])
-
-
-def _used_names(tree: ast.AST) -> set:
-    """Every identifier a module references, incl. quoted annotations."""
-    used = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            used.add(node.attr)
-        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
-            # Forward references ("FlatDesign"), __all__ entries and
-            # doctest snippets keep their imports alive.
-            for token in node.value.replace(".", " ").split():
-                if token.isidentifier():
-                    used.add(token)
-    return used
-
-
-def _unused_imports(tree: ast.Module):
-    """(line, name) of module-level imports never referenced (F401)."""
-    imported = []
-    for node in tree.body:
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                name = alias.asname or alias.name.split(".")[0]
-                imported.append((node.lineno, name))
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                imported.append((node.lineno,
-                                 alias.asname or alias.name))
-    used = _used_names(tree)
-    return [(line, name) for line, name in imported if name not in used]
-
-
-def check_file(path: Path) -> list:
-    findings = []
-    text = path.read_text()
-    try:
-        tree = ast.parse(text, filename=str(path))
-    except SyntaxError as error:
-        return [(path, error.lineno or 0,
-                 f"E9 syntax error: {error.msg}")]
-
-    for number, line in enumerate(text.splitlines(), start=1):
-        if len(line) > LINE_LIMIT:
-            findings.append((path, number,
-                             f"E501 line too long ({len(line)} > "
-                             f"{LINE_LIMIT})"))
-        if line != line.rstrip():
-            code = "W293" if not line.strip() else "W291"
-            findings.append((path, number, f"{code} trailing whitespace"))
-    if text and not text.endswith("\n"):
-        findings.append((path, text.count("\n") + 1,
-                         "W292 no newline at end of file"))
-
-    if path.name != "__init__.py":
-        for line, name in _unused_imports(tree):
-            findings.append((path, line,
-                             f"F401 {name!r} imported but unused"))
-    return findings
-
-
-def run_fallback() -> int:
-    findings = []
-    for target in TARGETS:
-        root = REPO / target
-        if not root.exists():
-            continue
-        for path in sorted(root.rglob("*.py")):
-            findings.extend(check_file(path))
-    for path, line, message in findings:
-        print(f"{path.relative_to(REPO)}:{line}: {message}")
-    label = "finding" if len(findings) == 1 else "findings"
-    print(f"lint fallback (ruff not installed): {len(findings)} {label}")
-    return 1 if findings else 0
 
 
 def main() -> int:
