@@ -138,7 +138,11 @@ def _prepared_for(scale: str, name: str) -> PreparedDesign:
     prepared = _PREPARED_CACHE.get(key)
     if prepared is None:
         prepared = prepare_suite_design(name, scale)
-        _PREPARED_CACHE[key] = prepared
+        # Worker-local memo of the immutable PreparedDesign: filled
+        # once per (scale, name) per process, never read across
+        # processes, and the cached value is frozen — determinism does
+        # not depend on which worker compiled it.
+        _PREPARED_CACHE[key] = prepared  # repro: noqa[REP009] frozen memo
     return prepared
 
 

@@ -1,0 +1,1 @@
+"""Clean fixture package: the same three patterns done safely."""

@@ -1,0 +1,14 @@
+"""Process-safe worker: pure function of its arguments."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def worker(key, value):
+    return key, value * 2
+
+
+def run(jobs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker, key, value)
+                   for key, value in jobs]
+        return [f.result() for f in futures]

@@ -1,0 +1,17 @@
+"""Seed-provenant RNG construction across a call-graph hop."""
+
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def shuffle_ids(ids, seed):
+    rng = make_rng(seed * 2 + 1)
+    rng.shuffle(ids)
+    return ids
+
+
+def default_stream(ids):
+    return shuffle_ids(ids, 7)

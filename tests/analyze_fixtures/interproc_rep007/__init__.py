@@ -1,0 +1,1 @@
+"""REP007 fixture package: RNG seeded across a call-graph hop."""

@@ -1,0 +1,11 @@
+"""Known-bad: a non-seed value flows into the RNG one hop away."""
+
+import os
+
+from .helpers import make_rng
+
+
+def shuffle_ids(ids):
+    rng = make_rng(os.getpid())
+    rng.shuffle(ids)
+    return ids

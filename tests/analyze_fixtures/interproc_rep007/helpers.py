@@ -1,0 +1,9 @@
+"""Helper constructing an RNG from whatever its caller hands it."""
+
+import random
+
+
+def make_rng(value):
+    # The parameter is not seed-named: provenance is the caller's
+    # responsibility, which is exactly what REP007 propagates.
+    return random.Random(value)

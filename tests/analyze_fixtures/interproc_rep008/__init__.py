@@ -1,0 +1,1 @@
+"""REP008 fixture package: kernel mutates an array via a helper."""

@@ -1,0 +1,14 @@
+"""Known-bad backend: a kernel mutates its argument one hop away."""
+
+from repro.metrics import RefereeBackend
+
+from .helpers import accumulate
+
+
+class LeakyBackend(RefereeBackend):
+    name = "leaky"
+
+    def hpwl(self, arrays, x, y):
+        # Passes the caller's coordinate array into a helper that
+        # scatters into it in place.
+        return accumulate(x, arrays, y)

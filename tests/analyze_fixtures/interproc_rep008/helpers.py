@@ -1,0 +1,10 @@
+"""Helper that scatters into whatever buffer it is handed."""
+
+import numpy as np
+
+
+def accumulate(buffer, indices, values):
+    # Mutates its argument: fine for a private scratch array, fatal
+    # when a kernel passes its input through.
+    np.add.at(buffer, indices, values)
+    return buffer

@@ -1,0 +1,1 @@
+"""REP009 fixture package: worker writes module state via a helper."""

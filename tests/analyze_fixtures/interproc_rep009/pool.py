@@ -1,0 +1,19 @@
+"""Known-bad: submitted worker reaches a module-state write."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from .state import remember
+
+
+def worker(key, value):
+    return remember(key, value)
+
+
+def run(jobs):
+    results = []
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker, key, value)
+                   for key, value in jobs]
+        futures.append(pool.submit(lambda: None))
+        results = [f.result() for f in futures]
+    return results

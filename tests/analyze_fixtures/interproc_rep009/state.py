@@ -1,0 +1,8 @@
+"""Module-level mutable state a worker must never touch."""
+
+_SEEN = {}
+
+
+def remember(key, value):
+    _SEEN[key] = value
+    return value

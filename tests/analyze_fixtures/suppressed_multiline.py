@@ -1,0 +1,8 @@
+"""Fixture: noqa anchored on a later line of a multi-line statement."""
+
+import numpy as np
+
+values = np.random.rand(
+    3,
+    2,
+)  # repro: noqa[REP001] fixture: suppression rides the closing paren

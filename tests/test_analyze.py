@@ -8,11 +8,13 @@ the JSON report, the REP004 registry introspection (by deliberately
 registering an incomplete backend) and the shared lint configuration.
 """
 
+import ast
 import json
 from pathlib import Path
 
 from tools.analyze import analyze_paths, check_backend, check_registry
 from tools.analyze.driver import REPO, main
+from tools.analyze.effects import ModuleSummary, summarize_module
 from tools.analyze.lintrules import load_lint_config
 from tools.analyze.reporting import to_json_dict
 from tools.analyze.rules import RULES
@@ -131,7 +133,8 @@ def test_src_tree_is_analyzer_clean():
 
 def test_every_rule_is_registered():
     assert set(RULES) == {"REP001", "REP002", "REP003", "REP004",
-                          "REP005", "REP006"}
+                          "REP005", "REP006", "REP007", "REP008",
+                          "REP009"}
 
 
 # -- baseline round-trip through the CLI ------------------------------------
@@ -139,7 +142,7 @@ def test_every_rule_is_registered():
 def test_baseline_roundtrip(tmp_path, capsys):
     fixture = str(FIXTURES / "rep001_bad.py")
     baseline = tmp_path / "baseline.json"
-    argv = [fixture, "--context", "all", "--no-contracts",
+    argv = [fixture, "--context", "all", "--no-contracts", "--no-cache",
             "--baseline", str(baseline)]
 
     assert main(argv) == 1          # unbaselined findings gate
@@ -158,7 +161,8 @@ def test_baseline_survives_line_shift(tmp_path):
     moved.write_text(source)
     baseline = tmp_path / "baseline.json"
     assert main([str(moved), "--context", "all", "--no-contracts",
-                 "--baseline", str(baseline), "--write-baseline"]) == 0
+                 "--no-cache", "--baseline", str(baseline),
+                 "--write-baseline"]) == 0
 
     # Content-keyed entries: inserting lines above must not resurface.
     moved.write_text("# shifted\n# shifted again\n" + source)
@@ -173,7 +177,7 @@ def test_baseline_survives_line_shift(tmp_path):
 def test_json_report_schema(tmp_path):
     out = tmp_path / "report.json"
     assert main([str(FIXTURES / "rep003_bad.py"), "--context", "all",
-                 "--no-contracts", "--json", "--json-out",
+                 "--no-contracts", "--no-cache", "--json", "--json-out",
                  str(out)]) == 1
     data = json.loads(out.read_text())
     assert data["tool"] == "repro-analyze"
@@ -189,6 +193,131 @@ def test_to_json_dict_matches_report():
     data = to_json_dict(report)
     assert data["ok"] is True
     assert data["findings"] == []
+
+
+# -- the interprocedural rules (REP007-REP009) ------------------------------
+
+def test_rep007_fires_through_a_call_edge():
+    # bad.py feeds os.getpid() into helpers.make_rng, which seeds a
+    # random.Random one call-graph hop away.
+    report = analyze_fixture("interproc_rep007")
+    assert rules_hit(report) == {"REP007"}
+    finding = report.findings[0]
+    assert finding.path.endswith("bad.py")
+    assert "make_rng" in finding.message
+    assert "helpers.py" in finding.message
+
+
+def test_rep008_fires_through_a_call_edge():
+    # LeakyBackend.hpwl passes its coordinate array to a helper that
+    # np.add.at-scatters into it; the finding lands on the helper's
+    # mutation with the kernel call chain spelled out.
+    report = analyze_fixture("interproc_rep008")
+    assert rules_hit(report) == {"REP008"}
+    finding = report.findings[0]
+    assert finding.path.endswith("helpers.py")
+    assert "LeakyBackend.hpwl" in finding.message
+    assert "call chain" in finding.message
+    assert "'x'" in finding.message      # the kernel parameter
+
+
+def test_rep009_fires_through_a_call_edge():
+    report = analyze_fixture("interproc_rep009")
+    assert rules_hit(report) == {"REP009"}
+    writes = [finding for finding in report.findings
+              if "module-level state" in finding.message]
+    assert writes and writes[0].path.endswith("state.py")
+    assert "'worker'" in writes[0].message      # the submit payload
+    assert "remember" in writes[0].message      # the call chain
+    lambdas = [finding for finding in report.findings
+               if "lambda" in finding.message]
+    assert lambdas and lambdas[0].path.endswith("pool.py")
+
+
+def test_interproc_clean_fixture_is_silent():
+    report = analyze_fixture("interproc_clean")
+    assert report.ok
+    assert not report.findings
+    assert not report.suppressed
+
+
+def test_multiline_statement_suppression_matches_span():
+    # The noqa sits on the closing-paren line of a 4-line statement;
+    # exact-line matching would miss it and then warn it unused.
+    report = analyze_fixture("suppressed_multiline.py")
+    assert report.ok
+    assert [finding.rule for finding in report.suppressed] == ["REP001"]
+    assert not report.unused_suppressions
+
+
+# -- effect summaries and the incremental cache -----------------------------
+
+def test_effect_summary_json_roundtrip():
+    source = (FIXTURES / "interproc_rep008" / "helpers.py").read_text()
+    summary = summarize_module(ast.parse(source), "helpers.py")
+    assert summary.functions["accumulate"].mutations
+    rehydrated = ModuleSummary.from_dict(
+        json.loads(json.dumps(summary.to_dict())))
+    assert rehydrated.to_dict() == summary.to_dict()
+
+
+def test_cache_roundtrip_serves_identical_findings(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    cold = analyze_fixture("interproc_rep009", cache_path=cache_path)
+    warm = analyze_fixture("interproc_rep009", cache_path=cache_path)
+    assert cold.cache_hits == 0
+    assert cold.cache_misses == len(cold.files)
+    assert warm.cache_hits == len(warm.files)
+    assert warm.cache_misses == 0
+    assert ([finding.to_dict() for finding in warm.findings]
+            == [finding.to_dict() for finding in cold.findings])
+
+
+def test_warm_cli_run_is_byte_identical(tmp_path):
+    fixture = str(FIXTURES / "interproc_rep007")
+    cache = tmp_path / "cache.json"
+    argv = [fixture, "--context", "all", "--no-contracts",
+            "--cache", str(cache), "--json"]
+    outs = []
+    for out in (tmp_path / "cold.json", tmp_path / "warm.json"):
+        assert main(argv + ["--json-out", str(out)]) == 1
+        outs.append(json.loads(out.read_text()))
+    cold, warm = outs
+    assert warm["cache"]["hits"] > 0
+    assert cold["cache"] == {"enabled": True, "hits": 0,
+                             "misses": cold["counts"]["files"]}
+    cold.pop("cache")
+    warm.pop("cache")
+    assert json.dumps(cold) == json.dumps(warm)
+
+
+def test_cache_invalidates_on_content_change(tmp_path):
+    source = tmp_path / "module.py"
+    source.write_text("import random\n\n"
+                      "def fresh():\n"
+                      "    return random.Random()\n")
+    cache_path = tmp_path / "cache.json"
+    first = analyze_paths([str(source)], context="all", contracts=False,
+                          cache_path=cache_path)
+    assert rules_hit(first) == {"REP007"}
+    source.write_text("import random\n\n"
+                      "def fresh(seed):\n"
+                      "    return random.Random(seed)\n")
+    second = analyze_paths([str(source)], context="all",
+                           contracts=False, cache_path=cache_path)
+    assert second.cache_misses == 1 and second.cache_hits == 0
+    assert second.ok
+
+
+# -- the github annotation format -------------------------------------------
+
+def test_github_format_emits_workflow_annotations(capsys):
+    assert main([str(FIXTURES / "rep001_bad.py"), "--context", "all",
+                 "--no-contracts", "--no-cache",
+                 "--format", "github"]) == 1
+    output = capsys.readouterr().out
+    assert "::error file=" in output
+    assert "title=REP001::" in output
 
 
 # -- the shared lint configuration ------------------------------------------

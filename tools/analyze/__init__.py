@@ -20,7 +20,19 @@ introspection pass:
 * **REP005** mutation of frozen artifact records outside their owning
   modules;
 * **REP006** wall-clock / environment reads inside kernel and
-  cost-model code.
+  cost-model code;
+* **REP007** RNG constructions without data-flow seed provenance
+  (interprocedural: demands propagate caller-to-caller);
+* **REP008** referee kernels (or their transitive callees) mutating
+  argument arrays — the bit-identity contract, proven statically;
+* **REP009** executor-worker-reachable writes to module-level state,
+  and unpicklable submit payloads.
+
+REP007-REP009 run over a whole-program call graph assembled from
+per-function effect summaries (:mod:`tools.analyze.effects`,
+:mod:`tools.analyze.callgraph`, :mod:`tools.analyze.dataflow`), with
+per-file products cached by content hash
+(:mod:`tools.analyze.cache`).
 
 Run it as ``python -m tools.analyze`` or ``make analyze``; suppress an
 intentional finding inline with ``# repro: noqa[REPxxx] why``; the
@@ -49,9 +61,15 @@ from tools.analyze.rules import (  # noqa: E402
 )
 from tools.analyze import visitors  # noqa: E402,F401 - registers rules
 from tools.analyze import contracts  # noqa: E402,F401 - registers REP004
+from tools.analyze import interproc  # noqa: E402,F401 - registers REP007-9
 from tools.analyze.contracts import check_backend, check_registry  # noqa: E402
 from tools.analyze.driver import analyze_paths, main  # noqa: E402
-from tools.analyze.reporting import Report, render_human, render_json  # noqa: E402
+from tools.analyze.reporting import (  # noqa: E402
+    Report,
+    render_github,
+    render_human,
+    render_json,
+)
 
 __all__ = [
     "Finding",
@@ -65,6 +83,7 @@ __all__ = [
     "check_registry",
     "main",
     "register_rule",
+    "render_github",
     "render_human",
     "render_json",
 ]

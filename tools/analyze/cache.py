@@ -1,0 +1,91 @@
+"""Incremental analysis cache keyed by file content hashes.
+
+One JSON file (default ``.cache/analyze_cache.json``) maps each
+analyzed file to its per-file analysis products: pre-suppression local
+findings, the serialized
+:class:`~tools.analyze.effects.ModuleSummary`, and the statement spans
+the suppression matcher needs.  Entries are keyed by ``(relpath,
+content sha256, context)`` and the whole cache is salted with a digest
+over ``tools/analyze/*.py`` itself, so editing any analyzer module
+invalidates everything at once — a stale rule can never serve stale
+findings.
+
+The *interprocedural* phase (REP007-REP009) is recomputed from the
+(possibly cached) summaries on every run: it is cheap relative to
+parsing, and always re-deriving it keeps warm and cold runs
+byte-identical in their findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+CACHE_VERSION = 1
+DEFAULT_CACHE = Path(".cache") / "analyze_cache.json"
+
+
+def file_digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def tools_digest() -> str:
+    """Digest over the analyzer's own sources (the invalidation salt)."""
+    digest = hashlib.sha256()
+    package = Path(__file__).resolve().parent
+    for source in sorted(package.glob("*.py")):
+        digest.update(source.name.encode("utf-8"))
+        digest.update(source.read_bytes())
+    return digest.hexdigest()
+
+
+class AnalysisCache:
+    """Load/lookup/store per-file analysis products."""
+
+    def __init__(self, path: Path, salt: str):
+        self.path = path
+        self.salt = salt
+        self.entries: Dict[str, Dict] = {}
+        self.touched: set = set()
+
+    @classmethod
+    def load(cls, path: Path, salt: str) -> "AnalysisCache":
+        cache = cls(path, salt)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return cache
+        if data.get("version") != CACHE_VERSION \
+                or data.get("tools_digest") != salt:
+            return cache
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            cache.entries = entries
+        return cache
+
+    def get(self, relpath: str, digest: str,
+            context: str) -> Optional[Dict]:
+        self.touched.add(relpath)
+        entry = self.entries.get(relpath)
+        if entry is None or entry.get("digest") != digest \
+                or entry.get("context") != context:
+            return None
+        return entry
+
+    def put(self, relpath: str, digest: str, context: str,
+            record: Dict) -> None:
+        self.touched.add(relpath)
+        self.entries[relpath] = dict(record, digest=digest,
+                                     context=context)
+
+    def save(self) -> None:
+        """Persist, pruning entries for files this run never saw."""
+        entries = {relpath: entry
+                   for relpath, entry in sorted(self.entries.items())
+                   if relpath in self.touched}
+        payload = {"version": CACHE_VERSION, "tools_digest": self.salt,
+                   "entries": entries}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(payload) + "\n")

@@ -1,0 +1,235 @@
+"""Alias-resolved module-import + intra-project call graph.
+
+:class:`Program` assembles the :class:`~tools.analyze.effects.\
+ModuleSummary` of every analyzed file into one whole-program view and
+resolves each recorded call site to the function it targets:
+
+* plain names resolve through the defining module, then its
+  ``from``-import map (chasing re-exports through package
+  ``__init__`` modules);
+* dotted calls (``mod.func``, ``pkg.mod.Class.method``) resolve by
+  longest-module-prefix match over the analyzed set, so
+  ``import numpy as np`` style aliasing cannot hide an edge;
+* ``self.method`` / ``cls.method`` resolve through the enclosing class
+  and its program-local base classes (an MRO-lite depth-first walk),
+  which is what lets a backend kernel inherited from
+  ``RefereeBackend`` keep its call edges.
+
+Unresolvable targets (third-party code, dynamically dispatched
+callables) simply contribute no edge — the engine under-approximates
+reachability rather than guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from tools.analyze.effects import CallSite, FunctionSummary, \
+    ModuleSummary
+
+#: Function identifier: ``<module>:<qualname>``.
+FunctionId = str
+
+
+def fid(module: str, qualname: str) -> FunctionId:
+    return f"{module}:{qualname}"
+
+
+class Program:
+    """Whole-program view over every analyzed module summary."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]):
+        self.modules: Dict[str, ModuleSummary] = {}
+        for summary in summaries:
+            if summary is not None:
+                self.modules[summary.module] = summary
+        #: fid -> (module name, FunctionSummary)
+        self.functions: Dict[FunctionId,
+                             Tuple[str, FunctionSummary]] = {}
+        for name, module in self.modules.items():
+            for qualname, fn in module.functions.items():
+                self.functions[fid(name, qualname)] = (name, fn)
+        #: fid -> [(callee fid, bound, CallSite)]
+        self.edges: Dict[FunctionId,
+                         List[Tuple[FunctionId, bool, CallSite]]] = {}
+        #: callee fid -> [(caller fid, bound, CallSite)]
+        self.callers: Dict[FunctionId,
+                           List[Tuple[FunctionId, bool,
+                                      CallSite]]] = {}
+        self._link()
+
+    # -- lookup helpers -----------------------------------------------------
+
+    def summary(self, function: FunctionId) -> FunctionSummary:
+        return self.functions[function][1]
+
+    def module_of(self, function: FunctionId) -> ModuleSummary:
+        return self.modules[self.functions[function][0]]
+
+    def relpath_of(self, function: FunctionId) -> str:
+        return self.module_of(function).relpath
+
+    def sorted_functions(self) -> List[FunctionId]:
+        """Deterministic iteration order: path, then definition order."""
+        return sorted(self.functions,
+                      key=lambda f: (self.relpath_of(f),
+                                     self.summary(f).line, f))
+
+    # -- class resolution ---------------------------------------------------
+
+    def find_class(self, dotted: str) -> Optional[Tuple[str, str]]:
+        """``(module, classname)`` for a dotted or bare class name."""
+        for name, module in self.modules.items():
+            if dotted.startswith(name + "."):
+                rest = dotted[len(name) + 1:]
+                if rest in module.classes:
+                    return name, rest
+        # Bare names: unique suffix match over all analyzed classes.
+        bare = dotted.rsplit(".", 1)[-1]
+        hits = [(name, bare) for name, module in
+                sorted(self.modules.items())
+                if bare in module.classes]
+        return hits[0] if hits else None
+
+    def mro(self, module: str, classname: str,
+            _seen=None) -> List[Tuple[str, str]]:
+        """Depth-first (module, class) linearization, program-local."""
+        _seen = _seen if _seen is not None else set()
+        if (module, classname) in _seen:
+            return []
+        _seen.add((module, classname))
+        order = [(module, classname)]
+        for base in self.modules[module].classes.get(classname, ()):
+            resolved = self.find_class(base) if base else None
+            if resolved is not None:
+                order.extend(self.mro(resolved[0], resolved[1], _seen))
+        return order
+
+    def resolve_method(self, module: str, classname: str,
+                       attr: str) -> Optional[FunctionId]:
+        """The defining ``fid`` of ``classname.attr``, MRO-resolved."""
+        for mod, cls in self.mro(module, classname):
+            candidate = fid(mod, f"{cls}.{attr}")
+            if candidate in self.functions:
+                return candidate
+        return None
+
+    # -- call-site resolution -----------------------------------------------
+
+    def resolve_dotted(self, dotted: str,
+                       depth: int = 0) -> Optional[Tuple[FunctionId,
+                                                         bool]]:
+        """``(fid, bound)`` for a canonical dotted call target."""
+        if depth > 4:
+            return None
+        best = None
+        for name in self.modules:
+            if dotted == name or dotted.startswith(name + "."):
+                if best is None or len(name) > len(best):
+                    best = name
+        if best is None:
+            return None
+        rest = dotted[len(best) + 1:] if dotted != best else ""
+        module = self.modules[best]
+        if not rest:
+            return None
+        if rest in module.functions:
+            # ``Class.method(explicit_self, ...)`` aligns 1:1 with
+            # params; a bare class name is a constructor call.
+            return fid(best, rest), False
+        if rest in module.classes:
+            ctor = self.resolve_method(best, rest, "__init__")
+            return (ctor, True) if ctor is not None else None
+        head = rest.split(".", 1)[0]
+        if "." in rest and head in module.classes:
+            method = self.resolve_method(best, head,
+                                         rest.split(".", 1)[1])
+            if method is not None:
+                return method, False
+        # Re-export: chase the module's own from-import binding.
+        if head in module.names_map:
+            tail = rest.split(".", 1)[1] if "." in rest else ""
+            chased = module.names_map[head] + ("." + tail
+                                               if tail else "")
+            return self.resolve_dotted(chased, depth + 1)
+        return None
+
+    def resolve_call(self, caller: FunctionId,
+                     site: CallSite) -> Optional[Tuple[FunctionId,
+                                                       bool]]:
+        module_name, fn = self.functions[caller]
+        module = self.modules[module_name]
+        kind = site.target[0]
+        if kind == "name":
+            name = site.target[1]
+            if fid(module_name, name) in self.functions:
+                return fid(module_name, name), False
+            if name in module.classes:
+                ctor = self.resolve_method(module_name, name,
+                                           "__init__")
+                return (ctor, True) if ctor is not None else None
+            if name in module.names_map:
+                return self.resolve_dotted(module.names_map[name])
+            return None
+        if kind == "dotted":
+            return self.resolve_dotted(site.target[1])
+        if kind == "method":
+            base, attr = site.target[1], site.target[2]
+            if base in _SELFISH and "." in fn.qualname:
+                classname = fn.qualname.split(".", 1)[0]
+                method = self.resolve_method(module_name, classname,
+                                             attr)
+                if method is not None:
+                    return method, True
+            return None
+        return None
+
+    def resolve_callable_ref(self, caller: FunctionId,
+                             ref: Tuple[str, str]
+                             ) -> Optional[FunctionId]:
+        """Resolve a callable *value* (e.g. a ``.submit`` payload)."""
+        resolved = self.resolve_call(
+            caller, CallSite(target=(ref[0], ref[1])))
+        return resolved[0] if resolved is not None else None
+
+    def _link(self) -> None:
+        for function in self.functions:
+            edges = []
+            for site in self.summary(function).calls:
+                resolved = self.resolve_call(function, site)
+                if resolved is None:
+                    continue
+                callee, bound = resolved
+                edges.append((callee, bound, site))
+                self.callers.setdefault(callee, []).append(
+                    (function, bound, site))
+            self.edges[function] = edges
+
+
+_SELFISH = ("self", "cls")
+
+
+def map_args_to_params(callee: FunctionSummary, bound: bool,
+                       site: CallSite) -> Dict[str, "object"]:
+    """param name -> :class:`~tools.analyze.effects.ArgInfo`.
+
+    ``bound`` calls (receiver dispatch, constructors) feed positional
+    arguments into ``params[1:]`` and map the receiver alias onto
+    ``self``; unbound calls align 1:1.
+    """
+    from tools.analyze.effects import ArgInfo
+
+    params = list(callee.params)
+    mapping: Dict[str, object] = {}
+    if bound and params and params[0] in _SELFISH:
+        mapping[params[0]] = ArgInfo(alias=site.recv_alias)
+        positional = params[1:]
+    else:
+        positional = params
+    for index, arg in enumerate(site.args):
+        if index < len(positional):
+            mapping[positional[index]] = arg
+    for key, arg in site.kwargs.items():
+        if key in params:
+            mapping[key] = arg
+    return mapping

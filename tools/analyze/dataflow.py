@@ -1,0 +1,163 @@
+"""Fixed-point propagation of effect summaries over the call graph.
+
+Three engines, one worklist discipline each, all deterministic (the
+worklists are seeded and drained in :meth:`Program.sorted_functions`
+order so warm-cache and cold runs emit byte-identical findings):
+
+* :func:`propagate_param_taint` — forward taint from a root function's
+  parameters through argument aliasing; surfaces every direct array
+  mutation of a tainted value, with the call chain back to the root
+  (REP008 kernel purity).
+* :func:`reachable_from` — call-graph reachability with parent links
+  from a set of entry points (REP009 process safety).
+* :func:`propagate_seed_demands` — *backward* demand propagation: an
+  RNG constructed from a plain parameter demands seed provenance of
+  every call site feeding that parameter; demands hop caller-to-caller
+  until satisfied by a constant/seed-named value or refuted by an
+  opaque one (REP007 seed provenance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from tools.analyze.callgraph import (FunctionId, Program,
+                                     map_args_to_params)
+
+
+@dataclass
+class TaintedMutation:
+    """One array mutation of a value aliasing a root parameter."""
+
+    function: FunctionId
+    param: str            # mutated parameter in ``function``
+    root_param: str       # the root's parameter it aliases
+    kind: str
+    detail: str
+    line: int
+    col: int
+    chain: List[FunctionId]   # root ... function
+
+
+def propagate_param_taint(program: Program, root: FunctionId,
+                          params: Sequence[str]
+                          ) -> List[TaintedMutation]:
+    """Every array mutation reachable from ``root``'s parameters."""
+    results: List[TaintedMutation] = []
+    seen: Set[Tuple[FunctionId, str]] = set()
+    # (function, param, root_param, chain)
+    worklist: List[Tuple[FunctionId, str, str, List[FunctionId]]] = []
+    for param in params:
+        worklist.append((root, param, param, [root]))
+        seen.add((root, param))
+    while worklist:
+        function, param, root_param, chain = worklist.pop(0)
+        summary = program.summary(function)
+        for mutated, kind, detail, line, col in summary.mutations:
+            if mutated == param:
+                results.append(TaintedMutation(
+                    function=function, param=param,
+                    root_param=root_param, kind=kind, detail=detail,
+                    line=line, col=col, chain=chain))
+        for callee, bound, site in program.edges.get(function, ()):
+            mapping = map_args_to_params(program.summary(callee),
+                                         bound, site)
+            for callee_param, arg in mapping.items():
+                if getattr(arg, "alias", None) != param:
+                    continue
+                key = (callee, callee_param)
+                if key in seen:
+                    continue
+                seen.add(key)
+                worklist.append((callee, callee_param, root_param,
+                                 chain + [callee]))
+    results.sort(key=lambda m: (program.relpath_of(m.function),
+                                m.line, m.col, m.param))
+    return results
+
+
+def reachable_from(program: Program, roots: Sequence[FunctionId]
+                   ) -> Dict[FunctionId, Optional[FunctionId]]:
+    """``{function: parent}`` for everything the roots can call."""
+    parents: Dict[FunctionId, Optional[FunctionId]] = {}
+    worklist: List[FunctionId] = []
+    for root in roots:
+        if root in program.functions and root not in parents:
+            parents[root] = None
+            worklist.append(root)
+    while worklist:
+        function = worklist.pop(0)
+        for callee, _bound, _site in program.edges.get(function, ()):
+            if callee not in parents:
+                parents[callee] = function
+                worklist.append(callee)
+    return parents
+
+
+def chain_to_root(parents: Dict[FunctionId, Optional[FunctionId]],
+                  function: FunctionId) -> List[FunctionId]:
+    """``[root, ..., function]`` through the BFS parent links."""
+    chain = [function]
+    while parents.get(chain[0]) is not None:
+        chain.insert(0, parents[chain[0]])
+    return chain
+
+
+@dataclass
+class SeedViolation:
+    """A call feeding a non-seed value into an RNG-seeding parameter."""
+
+    function: FunctionId      # the caller holding the bad call site
+    line: int
+    col: int
+    callee: FunctionId        # function whose parameter seeds the RNG
+    param: str
+    ctor: str                 # RNG constructor ultimately reached
+    ctor_site: str            # ``path:line`` of the construction
+
+
+def propagate_seed_demands(program: Program) -> List[SeedViolation]:
+    """Backward seed-provenance demands for param-seeded RNG ctors."""
+    violations: List[SeedViolation] = []
+    seen: Set[Tuple[FunctionId, str]] = set()
+    # (function, param, ctor, ctor_site)
+    worklist: List[Tuple[FunctionId, str, str, str]] = []
+    for function in program.sorted_functions():
+        summary = program.summary(function)
+        for ctor, seed, line, _col, context in summary.rng:
+            if context != "call" or not seed.startswith("param:"):
+                continue
+            param = seed.split(":", 1)[1]
+            site = f"{program.relpath_of(function)}:{line}"
+            if (function, param) not in seen:
+                seen.add((function, param))
+                worklist.append((function, param, ctor, site))
+    while worklist:
+        function, param, ctor, ctor_site = worklist.pop(0)
+        callers = sorted(
+            program.callers.get(function, ()),
+            key=lambda entry: (program.relpath_of(entry[0]),
+                               entry[2].line, entry[2].col))
+        for caller, bound, site in callers:
+            mapping = map_args_to_params(program.summary(function),
+                                         bound, site)
+            arg = mapping.get(param)
+            if arg is None:
+                continue          # default value used; nothing flows
+            seed = getattr(arg, "seed", "opaque")
+            if seed in ("const", "seedlike"):
+                continue
+            if seed.startswith("param:"):
+                up = seed.split(":", 1)[1]
+                if (caller, up) not in seen:
+                    seen.add((caller, up))
+                    worklist.append((caller, up, ctor, ctor_site))
+                continue
+            violations.append(SeedViolation(
+                function=caller, line=site.line, col=site.col,
+                callee=function, param=param, ctor=ctor,
+                ctor_site=ctor_site))
+    violations.sort(key=lambda v: (program.relpath_of(v.function),
+                                   v.line, v.col))
+    return violations

@@ -1,0 +1,743 @@
+"""Per-function effect summaries: the analyzer's interprocedural atoms.
+
+:func:`summarize_module` walks one parsed file and produces a
+serializable :class:`ModuleSummary`: for every function (including
+methods and nested functions) a :class:`FunctionSummary` records
+
+* **array mutations of parameters** — subscript stores, augmented
+  assignments, mutating container/ndarray methods, ``out=`` keyword
+  targets and ``np.<ufunc>.at`` first arguments whose base name aliases
+  a parameter (aliases track ``y = x`` / ``y = x[...]`` view bindings);
+* **module-level state writes** — stores through names that are not
+  function-local (module globals, ``global`` declarations, names
+  imported from other modules);
+* **RNG constructions** — every ``random.Random`` /
+  ``numpy.random.default_rng``-family call, classified by the seed
+  provenance of its first argument (constant, seed-named value,
+  parameter passthrough, or opaque) plus the construction context
+  (plain call, module-global store, default-argument value);
+* **wall-clock / environment reads**; and
+* **call sites** with enough argument structure (alias + seed
+  provenance per argument, ``.submit`` payloads) for
+  :mod:`tools.analyze.dataflow` to propagate all of the above through
+  the call graph to a fixed point.
+
+Summaries are pure data (``to_dict``/``from_dict`` round-trip), so the
+incremental cache can persist them per file keyed by content hash.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from tools.analyze.visitors import _canonical_call, _import_maps
+
+#: Explicit-stream RNG constructors whose seed argument REP007 audits.
+RNG_CTORS = {
+    "random.Random", "numpy.random.default_rng",
+    "numpy.random.RandomState", "numpy.random.SeedSequence",
+    "numpy.random.PCG64", "numpy.random.PCG64DXSM",
+    "numpy.random.MT19937", "numpy.random.Philox", "numpy.random.SFC64",
+}
+
+#: Methods that mutate their receiver in place (ndarray + containers).
+ARRAY_MUTATING_METHODS = {
+    "fill", "sort", "put", "partition", "resize", "itemset", "setfield",
+    "byteswap", "append", "extend", "insert", "remove", "discard",
+    "pop", "popitem", "clear", "update", "setdefault", "add", "reverse",
+}
+
+#: Wall-clock / environment read patterns (mirrors REP006).
+CLOCK_CALL_PREFIXES = ("time.",)
+CLOCK_CALLS = {"os.getenv", "datetime.datetime.now",
+               "datetime.datetime.utcnow", "datetime.date.today",
+               "datetime.now", "date.today"}
+
+#: Functions transparent to seed provenance (``int(seed)`` is a seed).
+_SEED_TRANSPARENT_CALLS = {"int", "abs", "hash", "str"}
+
+_SELFISH = ("self", "cls")
+
+
+def is_seed_name(name: str) -> bool:
+    """Does ``name`` explicitly claim seed provenance?"""
+    return "seed" in name.lower()
+
+
+def base_name(node: ast.AST) -> Optional[str]:
+    """Left-most ``Name`` of an attribute/subscript chain, else None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@dataclass
+class ArgInfo:
+    """One call argument, as the dataflow engine sees it."""
+
+    #: Parameter of the *calling* function this argument aliases.
+    alias: Optional[str] = None
+    #: Seed provenance: ``const`` / ``seedlike`` / ``param:<name>`` /
+    #: ``opaque``.
+    seed: str = "opaque"
+    #: Resolvable callable payload (``("name", f)`` / ``("dotted", d)``)
+    #: when the argument is a plain function reference.
+    callable_ref: Optional[Tuple[str, str]] = None
+    is_lambda: bool = False
+
+    def to_dict(self):
+        return {"alias": self.alias, "seed": self.seed,
+                "callable_ref": list(self.callable_ref)
+                if self.callable_ref else None,
+                "is_lambda": self.is_lambda}
+
+    @classmethod
+    def from_dict(cls, data):
+        ref = data.get("callable_ref")
+        return cls(alias=data.get("alias"),
+                   seed=data.get("seed", "opaque"),
+                   callable_ref=tuple(ref) if ref else None,
+                   is_lambda=bool(data.get("is_lambda")))
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    #: ``("name", f)`` / ``("dotted", "pkg.mod.f")`` /
+    #: ``("method", receiver_base, attr)``.
+    target: Tuple[str, ...]
+    line: int = 0
+    col: int = 0
+    args: List[ArgInfo] = field(default_factory=list)
+    kwargs: Dict[str, ArgInfo] = field(default_factory=dict)
+    #: Calling-function parameter the method receiver aliases.
+    recv_alias: Optional[str] = None
+
+    def to_dict(self):
+        return {"target": list(self.target), "line": self.line,
+                "col": self.col,
+                "args": [a.to_dict() for a in self.args],
+                "kwargs": {k: v.to_dict()
+                           for k, v in self.kwargs.items()},
+                "recv_alias": self.recv_alias}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(target=tuple(data["target"]), line=data["line"],
+                   col=data["col"],
+                   args=[ArgInfo.from_dict(a) for a in data["args"]],
+                   kwargs={k: ArgInfo.from_dict(v)
+                           for k, v in data["kwargs"].items()},
+                   recv_alias=data.get("recv_alias"))
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the dataflow engine knows about one function."""
+
+    qualname: str
+    params: List[str] = field(default_factory=list)
+    line: int = 0
+    col: int = 0
+    #: ``[param, kind, detail, line, col]`` direct array mutations.
+    mutations: List[List] = field(default_factory=list)
+    #: ``[name, line, col]`` writes through non-local names.
+    global_writes: List[List] = field(default_factory=list)
+    #: ``[what, line, col]`` wall-clock / environment reads.
+    clock_reads: List[List] = field(default_factory=list)
+    #: ``[ctor, seed_class, line, col, context]`` RNG constructions;
+    #: context is ``call`` / ``global:<name>`` / ``default``.
+    rng: List[List] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    #: ``[kind, name, line, col]`` payloads of ``.submit(...)`` calls;
+    #: kind is ``lambda`` / ``nested`` / ``name`` / ``dotted``.
+    submits: List[List] = field(default_factory=list)
+
+    @property
+    def is_method(self) -> bool:
+        return bool(self.params) and self.params[0] in _SELFISH
+
+    def to_dict(self):
+        return {"qualname": self.qualname, "params": self.params,
+                "line": self.line, "col": self.col,
+                "mutations": self.mutations,
+                "global_writes": self.global_writes,
+                "clock_reads": self.clock_reads, "rng": self.rng,
+                "calls": [c.to_dict() for c in self.calls],
+                "submits": self.submits}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(qualname=data["qualname"], params=data["params"],
+                   line=data["line"], col=data["col"],
+                   mutations=[list(m) for m in data["mutations"]],
+                   global_writes=[list(w)
+                                  for w in data["global_writes"]],
+                   clock_reads=[list(r) for r in data["clock_reads"]],
+                   rng=[list(r) for r in data["rng"]],
+                   calls=[CallSite.from_dict(c)
+                          for c in data["calls"]],
+                   submits=[list(s) for s in data["submits"]])
+
+
+@dataclass
+class ModuleSummary:
+    """Per-module slice of the program: functions, classes, imports."""
+
+    module: str
+    relpath: str
+    modules_map: Dict[str, str] = field(default_factory=dict)
+    names_map: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    #: class name -> resolved (dotted where possible) base names.
+    classes: Dict[str, List[str]] = field(default_factory=dict)
+    module_level_names: List[str] = field(default_factory=list)
+
+    def to_dict(self):
+        return {"module": self.module, "relpath": self.relpath,
+                "modules_map": self.modules_map,
+                "names_map": self.names_map,
+                "functions": {q: f.to_dict()
+                              for q, f in self.functions.items()},
+                "classes": self.classes,
+                "module_level_names": self.module_level_names}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(module=data["module"], relpath=data["relpath"],
+                   modules_map=dict(data["modules_map"]),
+                   names_map=dict(data["names_map"]),
+                   functions={q: FunctionSummary.from_dict(f)
+                              for q, f in data["functions"].items()},
+                   classes={k: list(v)
+                            for k, v in data["classes"].items()},
+                   module_level_names=list(
+                       data["module_level_names"]))
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name of a repo-relative path (``src/`` stripped)."""
+    parts = relpath.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part) or "<root>"
+
+
+def _local_names(fn: ast.AST) -> Set[str]:
+    """Names bound inside ``fn``'s own scope (nested defs excluded)."""
+    names: Set[str] = set()
+    globals_decl: Set[str] = set()
+
+    def collect_target(target):
+        # Only *binding* positions introduce locals: a subscript or
+        # attribute store mutates an existing object instead.
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                collect_target(element)
+        elif isinstance(target, ast.Starred):
+            collect_target(target.value)
+
+    def visit(node, top=False):
+        if not top and isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef,
+                                         ast.Lambda)):
+            if not isinstance(node, ast.Lambda):
+                names.add(node.name)
+            return
+        if isinstance(node, ast.Global):
+            globals_decl.update(node.names)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                collect_target(target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            collect_target(node.target)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    collect_target(item.optional_vars)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                names.add(local)
+        elif isinstance(node, ast.comprehension):
+            collect_target(node.target)
+        elif isinstance(node, (ast.NamedExpr,)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    visit(fn, top=True)
+    return names - globals_decl
+
+
+def _own_nodes(fn: ast.AST):
+    """Walk ``fn`` without descending into nested function bodies."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop(0)
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _FunctionScanner:
+    """Extracts one :class:`FunctionSummary` from a function body."""
+
+    def __init__(self, module: "ModuleSummary", qualname: str,
+                 fn: ast.AST, params: Sequence[str]):
+        self.module = module
+        self.fn = fn
+        self.summary = FunctionSummary(
+            qualname=qualname, params=list(params),
+            line=getattr(fn, "lineno", 0),
+            col=getattr(fn, "col_offset", 0))
+        self.locals = _local_names(fn) | set(params)
+        self.globals_decl = {name for node in _own_nodes(fn)
+                             if isinstance(node, ast.Global)
+                             for name in node.names}
+        self.aliases = self._alias_map(params)
+        self.env = self._assignment_env()
+        self.nested = {node.name for node in _own_nodes(fn)
+                       if isinstance(node, (ast.FunctionDef,
+                                            ast.AsyncFunctionDef))}
+
+    # -- aliasing -----------------------------------------------------------
+
+    def _alias_map(self, params: Sequence[str]) -> Dict[str, str]:
+        """name -> parameter it may alias (params, plain/view copies)."""
+        aliases = {p: p for p in params}
+        changed = True
+        while changed:
+            changed = False
+            for node in _own_nodes(self.fn):
+                if not isinstance(node, ast.Assign) \
+                        or len(node.targets) != 1 \
+                        or not isinstance(node.targets[0], ast.Name):
+                    continue
+                value = node.value
+                if not isinstance(value, (ast.Name, ast.Subscript,
+                                          ast.Attribute)):
+                    continue
+                base = base_name(value)
+                target = node.targets[0].id
+                if base in aliases and target not in aliases:
+                    aliases[target] = aliases[base]
+                    changed = True
+        return aliases
+
+    def param_alias(self, node: ast.AST) -> Optional[str]:
+        base = base_name(node)
+        if base is None:
+            return None
+        return self.aliases.get(base)
+
+    # -- seed provenance ----------------------------------------------------
+
+    def _assignment_env(self) -> Dict[str, List[ast.AST]]:
+        env: Dict[str, List[ast.AST]] = {}
+        for node in _own_nodes(self.fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                env.setdefault(node.targets[0].id, []).append(node.value)
+        return env
+
+    def seed_class(self, expr: ast.AST, depth: int = 0) -> str:
+        """``const`` / ``seedlike`` / ``param:<name>`` / ``opaque``."""
+        if depth > 6:
+            return "opaque"
+        if isinstance(expr, ast.Constant):
+            return "opaque" if expr.value is None else "const"
+        if isinstance(expr, ast.Name):
+            if is_seed_name(expr.id):
+                return "seedlike"
+            if expr.id in self.summary.params:
+                return f"param:{expr.id}"
+            if expr.id in self.env:
+                return self._meet([self.seed_class(v, depth + 1)
+                                   for v in self.env[expr.id]])
+            return "opaque"
+        if isinstance(expr, ast.Attribute):
+            return "seedlike" if is_seed_name(expr.attr) else "opaque"
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else "")
+            if is_seed_name(name):
+                return "seedlike"
+            if name in _SEED_TRANSPARENT_CALLS and len(expr.args) == 1:
+                return self.seed_class(expr.args[0], depth + 1)
+            return "opaque"
+        if isinstance(expr, ast.BinOp):
+            return self._meet([self.seed_class(expr.left, depth + 1),
+                               self.seed_class(expr.right, depth + 1)])
+        if isinstance(expr, ast.UnaryOp):
+            return self.seed_class(expr.operand, depth + 1)
+        if isinstance(expr, ast.IfExp):
+            return self._meet([self.seed_class(expr.body, depth + 1),
+                               self.seed_class(expr.orelse, depth + 1)])
+        if isinstance(expr, ast.Subscript):
+            return self.seed_class(expr.value, depth + 1)
+        if isinstance(expr, ast.Tuple):
+            return self._meet([self.seed_class(e, depth + 1)
+                               for e in expr.elts])
+        return "opaque"
+
+    @staticmethod
+    def _meet(classes: List[str]) -> str:
+        if not classes or "opaque" in classes:
+            return "opaque"
+        for cls in classes:
+            if cls.startswith("param:"):
+                return cls
+        if "seedlike" in classes:
+            return "seedlike"
+        return "const"
+
+    # -- per-node extraction ------------------------------------------------
+
+    def arg_info(self, expr: ast.AST) -> ArgInfo:
+        info = ArgInfo(alias=self.param_alias(expr),
+                       seed=self.seed_class(expr))
+        if isinstance(expr, ast.Lambda):
+            info.is_lambda = True
+        elif isinstance(expr, ast.Name):
+            info.callable_ref = ("name", expr.id)
+        elif isinstance(expr, ast.Attribute):
+            dotted = _canonical_call(expr, self.module.modules_map,
+                                     self.module.names_map)
+            if dotted is not None:
+                info.callable_ref = ("dotted", dotted)
+        return info
+
+    def record_mutation(self, target: ast.AST, kind: str, detail: str,
+                        node: ast.AST) -> None:
+        param = self.param_alias(target)
+        if param is not None:
+            self.summary.mutations.append(
+                [param, kind, detail, node.lineno, node.col_offset])
+
+    def record_global_write(self, target: ast.AST, node: ast.AST,
+                            mutation: bool = True) -> None:
+        """Record a write through a non-local name.
+
+        ``mutation=False`` marks a *binding* store (``X = v``): a bare
+        name there is a local unless ``global``-declared; any mutation
+        (subscript store, ``.append``, ``np.add.at``) through a
+        module-level or imported name is a module-state write.
+        """
+        base = base_name(target)
+        if base is None:
+            return
+        if isinstance(target, ast.Name) and not mutation:
+            if base in self.globals_decl:
+                self.summary.global_writes.append(
+                    [base, node.lineno, node.col_offset])
+            return
+        if base in self.locals and base not in self.globals_decl:
+            return
+        if base in self.globals_decl \
+                or base in self.module.module_level_names \
+                or base in self.module.names_map \
+                or base in self.module.modules_map:
+            self.summary.global_writes.append(
+                [base, node.lineno, node.col_offset])
+
+    def scan(self) -> FunctionSummary:
+        modules_map = self.module.modules_map
+        names_map = self.module.names_map
+        for node in _own_nodes(self.fn):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._scan_store(target, node, aug=False)
+            elif isinstance(node, ast.AugAssign):
+                self._scan_store(node.target, node, aug=True)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        self.record_mutation(target, "del",
+                                             "del of a subscript", node)
+                        self.record_global_write(target, node)
+            elif isinstance(node, ast.Call):
+                self._scan_call(node, modules_map, names_map)
+        self._scan_rng(modules_map, names_map)
+        return self.summary
+
+    def _scan_store(self, target: ast.AST, node: ast.AST,
+                    aug: bool) -> None:
+        if isinstance(target, ast.Subscript):
+            kind = "aug-subscript-store" if aug else "subscript-store"
+            self.record_mutation(target, kind,
+                                 "in-place subscript store", node)
+            self.record_global_write(target, node)
+        elif aug and isinstance(target, ast.Name):
+            # ``x += ...`` on an array parameter mutates in place.
+            self.record_mutation(target, "aug-assign",
+                                 "augmented assignment", node)
+            self.record_global_write(target, node, mutation=False)
+        elif isinstance(target, ast.Name):
+            self.record_global_write(target, node, mutation=False)
+        elif isinstance(target, ast.Attribute):
+            # ``mod.state = ...`` through an imported module.
+            base = base_name(target)
+            if base is not None and base not in self.locals \
+                    and base in self.module.modules_map:
+                self.record_global_write(target, node)
+
+    def _scan_call(self, node: ast.Call, modules_map,
+                   names_map) -> None:
+        func = node.func
+        dotted = _canonical_call(func, modules_map, names_map)
+
+        # Wall-clock / environment reads.
+        if dotted is not None and (dotted in CLOCK_CALLS or any(
+                dotted.startswith(p) for p in CLOCK_CALL_PREFIXES)):
+            self.summary.clock_reads.append(
+                [dotted, node.lineno, node.col_offset])
+
+        # ``np.<ufunc>.at(target, ...)`` scatters mutate arg 0.
+        if dotted is not None and dotted.startswith("numpy.") \
+                and dotted.endswith(".at") and node.args:
+            self.record_mutation(node.args[0], "ufunc-at",
+                                 f"{dotted}(...)", node)
+            self.record_global_write(node.args[0], node)
+
+        # ``out=`` keyword targets are written in place.
+        for keyword in node.keywords:
+            if keyword.arg == "out" and keyword.value is not None:
+                self.record_mutation(keyword.value, "out-kwarg",
+                                     "out= target", node)
+                self.record_global_write(keyword.value, node)
+
+        # Mutating method calls on a receiver chain.
+        if isinstance(func, ast.Attribute) \
+                and func.attr in ARRAY_MUTATING_METHODS:
+            self.record_mutation(func.value, "mutating-method",
+                                 f".{func.attr}(...)", node)
+            self.record_global_write(func.value, node)
+
+        # ``pool.submit(payload, ...)`` worker entry points.
+        if isinstance(func, ast.Attribute) and func.attr == "submit" \
+                and node.args:
+            self._record_submit(node)
+
+        # The call site itself, for graph edges.
+        target = self._target_spec(func, modules_map, names_map)
+        if target is not None:
+            site = CallSite(target=target, line=node.lineno,
+                            col=node.col_offset,
+                            args=[self.arg_info(a) for a in node.args
+                                  if not isinstance(a, ast.Starred)],
+                            kwargs={k.arg: self.arg_info(k.value)
+                                    for k in node.keywords
+                                    if k.arg is not None})
+            if target[0] == "method":
+                site.recv_alias = self.param_alias(func.value)
+            self.summary.calls.append(site)
+
+    def _record_submit(self, node: ast.Call) -> None:
+        payload = node.args[0]
+        line, col = node.lineno, node.col_offset
+        if isinstance(payload, ast.Lambda):
+            self.summary.submits.append(["lambda", "<lambda>", line,
+                                         col])
+        elif isinstance(payload, ast.Name):
+            kind = "nested" if payload.id in self.nested else "name"
+            self.summary.submits.append([kind, payload.id, line, col])
+        elif isinstance(payload, ast.Attribute):
+            dotted = _canonical_call(payload, self.module.modules_map,
+                                     self.module.names_map)
+            if dotted is not None:
+                self.summary.submits.append(["dotted", dotted, line,
+                                             col])
+
+    @staticmethod
+    def _target_spec(func: ast.AST, modules_map,
+                     names_map) -> Optional[Tuple[str, ...]]:
+        if isinstance(func, ast.Name):
+            return ("name", func.id)
+        if isinstance(func, ast.Attribute):
+            dotted = _canonical_call(func, modules_map, names_map)
+            if dotted is not None:
+                return ("dotted", dotted)
+            base = base_name(func.value)
+            return ("method", base or "", func.attr)
+        return None
+
+    def _scan_rng(self, modules_map, names_map) -> None:
+        # RNGs constructed in default-argument expressions are shared
+        # across every call of the function — always a finding.
+        default_ids = set()
+        args = getattr(self.fn, "args", None)
+        if args is not None:
+            for default in list(args.defaults) + list(args.kw_defaults):
+                if default is None:
+                    continue
+                default_ids.update(id(sub) for sub in ast.walk(default))
+        for node in _own_nodes(self.fn):
+            if not isinstance(node, ast.Call):
+                continue
+            ctor = self._rng_ctor(node, modules_map, names_map)
+            if ctor is None:
+                continue
+            if not node.args and not node.keywords:
+                seed = "unseeded"
+            else:
+                arg = node.args[0] if node.args \
+                    else node.keywords[0].value
+                seed = self.seed_class(arg)
+            context = "call"
+            if id(node) in default_ids:
+                context = "default"
+            else:
+                stored = self._stored_global_name(node)
+                if stored is not None:
+                    context = f"global:{stored}"
+            self.summary.rng.append(
+                [ctor, seed, node.lineno, node.col_offset, context])
+
+    def _stored_global_name(self, ctor_node: ast.Call) -> Optional[str]:
+        """Module-level name the RNG is stored into, if any."""
+        if self.summary.qualname != "<module>":
+            return None
+        for node in _own_nodes(self.fn):
+            if isinstance(node, ast.Assign) \
+                    and any(sub is ctor_node
+                            for sub in ast.walk(node.value)):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        return target.id
+        return None
+
+    @staticmethod
+    def _rng_ctor(node: ast.AST, modules_map,
+                  names_map) -> Optional[str]:
+        if not isinstance(node, ast.Call):
+            return None
+        dotted = _canonical_call(node.func, modules_map, names_map)
+        return dotted if dotted in RNG_CTORS else None
+
+
+def _params_of(fn) -> List[str]:
+    args = fn.args
+    params = [a.arg for a in args.posonlyargs + args.args
+              + args.kwonlyargs]
+    if args.vararg is not None:
+        params.append(args.vararg.arg)
+    if args.kwarg is not None:
+        params.append(args.kwarg.arg)
+    return params
+
+
+def _resolve_base(expr: ast.AST, modules_map, names_map) -> str:
+    """Dotted (where resolvable) name of one class-base expression."""
+    if isinstance(expr, ast.Name):
+        return names_map.get(expr.id, expr.id)
+    if isinstance(expr, ast.Attribute):
+        dotted = _canonical_call(expr, modules_map, names_map)
+        return dotted if dotted is not None else expr.attr
+    if isinstance(expr, ast.Subscript):
+        return _resolve_base(expr.value, modules_map, names_map)
+    return ""
+
+
+def _absolutize_relative_imports(tree: ast.Module, relpath: str,
+                                 module: str, names_map: Dict[str, str]
+                                 ) -> None:
+    """Rewrite ``from .x import y`` bindings to absolute dotted names.
+
+    :func:`~tools.analyze.visitors._import_maps` records relative
+    imports without their anchor package; the module name (known here)
+    supplies it, so cross-file edges inside a package resolve.
+    """
+    if module == "<root>":
+        return
+    parts = module.split(".")
+    package = parts if relpath.endswith("__init__.py") else parts[:-1]
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom) or not node.level:
+            continue
+        anchor = package[:len(package) - (node.level - 1)] \
+            if node.level > 1 else package
+        if not anchor:
+            continue
+        prefix = ".".join(anchor)
+        if node.module:
+            prefix = f"{prefix}.{node.module}"
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            names_map[local] = f"{prefix}.{alias.name}"
+
+
+def summarize_module(tree: ast.Module, relpath: str,
+                     module: Optional[str] = None) -> ModuleSummary:
+    """Summarize one parsed file into its interprocedural atoms."""
+    modules_map, names_map = _import_maps(tree)
+    module = module if module is not None else module_name_for(relpath)
+    _absolutize_relative_imports(tree, relpath, module, names_map)
+    summary = ModuleSummary(
+        module=module,
+        relpath=relpath, modules_map=modules_map, names_map=names_map)
+
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    summary.module_level_names.append(target.id)
+        elif isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name):
+            summary.module_level_names.append(node.target.id)
+
+    def add_function(fn, qualname):
+        scanner = _FunctionScanner(summary, qualname, fn,
+                                   _params_of(fn))
+        summary.functions[qualname] = scanner.scan()
+        for child in _own_nodes(fn):
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef)):
+                add_function(child,
+                             f"{qualname}.<locals>.{child.name}")
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            add_function(node, node.name)
+        elif isinstance(node, ast.ClassDef):
+            summary.classes[node.name] = [
+                _resolve_base(b, modules_map, names_map)
+                for b in node.bases]
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    add_function(item, f"{node.name}.{item.name}")
+
+    # Module-level statements run at import time; summarize them as a
+    # pseudo-function so module-global RNG stores are visible.
+    module_body = ast.Module(
+        body=[stmt for stmt in tree.body
+              if not isinstance(stmt, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef,
+                                       ast.ClassDef))],
+        type_ignores=[])
+    scanner = _FunctionScanner(summary, "<module>", module_body, [])
+    summary.functions["<module>"] = scanner.scan()
+    return summary

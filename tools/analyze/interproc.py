@@ -1,0 +1,226 @@
+"""Interprocedural rules REP007/REP008/REP009 over the call graph.
+
+Each rule is a :class:`~tools.analyze.rules.Rule` with
+``graph_rule = True``: the driver assembles every analyzed file's
+:class:`~tools.analyze.effects.ModuleSummary` into one
+:class:`~tools.analyze.callgraph.Program` and hands it to
+:meth:`Rule.check_program` once per invocation.  Findings anchor to the
+file/line where the offending construct lives, so the normal per-file
+suppression and baseline machinery applies unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from tools.analyze.callgraph import FunctionId, Program
+from tools.analyze.contracts import KERNELS
+from tools.analyze.dataflow import (chain_to_root, propagate_param_taint,
+                                    propagate_seed_demands,
+                                    reachable_from)
+from tools.analyze.rules import Finding, Rule, register_rule
+
+_SELFISH = ("self", "cls")
+
+#: Class-name suffix that marks a referee backend for REP008.
+BACKEND_BASE = "RefereeBackend"
+
+
+def _label(program: Program, function: FunctionId) -> str:
+    """Human label: ``module.qualname`` (bare module for ``<module>``)."""
+    module, summary = program.functions[function]
+    if summary.qualname == "<module>":
+        return module
+    return f"{module}.{summary.qualname}"
+
+
+def _chain_label(program: Program,
+                 chain: List[FunctionId]) -> str:
+    return " -> ".join(_label(program, f) for f in chain)
+
+
+class Rep007SeedProvenance(Rule):
+    """Every RNG construction must trace to an explicit seed."""
+
+    code = "REP007"
+    title = "RNG without explicit seed provenance"
+    graph_rule = True
+
+    def check_program(self, program: Program) -> List[Finding]:
+        findings: List[Finding] = []
+        for function in program.sorted_functions():
+            summary = program.summary(function)
+            relpath = program.relpath_of(function)
+            for ctor, seed, line, col, context in summary.rng:
+                if context == "default":
+                    findings.append(Finding(
+                        self.code, relpath, line, col,
+                        f"{ctor} constructed in a default argument is "
+                        f"evaluated once and shared across every call; "
+                        f"construct it inside the function from an "
+                        f"explicit seed"))
+                    continue
+                if context.startswith("global:"):
+                    name = context.split(":", 1)[1]
+                    findings.append(Finding(
+                        self.code, relpath, line, col,
+                        f"{ctor} stored in module global {name!r} is "
+                        f"hidden process state; thread an explicitly "
+                        f"seeded generator through parameters instead"))
+                    continue
+                if seed == "unseeded":
+                    findings.append(Finding(
+                        self.code, relpath, line, col,
+                        f"{ctor}() constructed without a seed draws "
+                        f"entropy from the OS; pass an explicit seed "
+                        f"parameter or config field"))
+                elif seed == "opaque":
+                    findings.append(Finding(
+                        self.code, relpath, line, col,
+                        f"{ctor} seeded from a value with no seed "
+                        f"provenance; derive the argument from an "
+                        f"explicit seed parameter or config field"))
+                # ``const``/``seedlike`` are fine; ``param:<name>``
+                # defers to the interprocedural demand propagation.
+        for violation in propagate_seed_demands(program):
+            findings.append(Finding(
+                self.code, program.relpath_of(violation.function),
+                violation.line, violation.col,
+                f"call feeds a non-seed value into parameter "
+                f"{violation.param!r} of "
+                f"{_label(program, violation.callee)}, which seeds "
+                f"{violation.ctor} at {violation.ctor_site}"))
+        return findings
+
+
+def _backend_classes(program: Program) -> List[Tuple[str, str]]:
+    """Every analyzed class whose base chain reaches RefereeBackend."""
+
+    def is_backend(module: str, classname: str,
+                   seen: Set[Tuple[str, str]]) -> bool:
+        if classname == BACKEND_BASE:
+            return True
+        for base in program.modules[module].classes.get(classname, ()):
+            if base.rsplit(".", 1)[-1] == BACKEND_BASE:
+                return True
+            resolved = program.find_class(base)
+            if resolved is not None and resolved not in seen:
+                seen.add(resolved)
+                if is_backend(resolved[0], resolved[1], seen):
+                    return True
+        return False
+
+    backends = []
+    for name in sorted(program.modules):
+        for classname in sorted(program.modules[name].classes):
+            if is_backend(name, classname, {(name, classname)}):
+                backends.append((name, classname))
+    return backends
+
+
+class Rep008KernelPurity(Rule):
+    """Referee kernels must never mutate argument arrays."""
+
+    code = "REP008"
+    title = "referee kernel mutates argument arrays"
+    graph_rule = True
+
+    def check_program(self, program: Program) -> List[Finding]:
+        findings: List[Finding] = []
+        roots: List[Tuple[FunctionId, str, str]] = []
+        seen_roots: Set[FunctionId] = set()
+        for module, classname in _backend_classes(program):
+            for kernel in KERNELS:
+                root = program.resolve_method(module, classname, kernel)
+                if root is None or root in seen_roots:
+                    continue
+                seen_roots.add(root)
+                roots.append((root, classname, kernel))
+        for root, classname, kernel in roots:
+            params = [p for p in program.summary(root).params
+                      if p not in _SELFISH]
+            for hit in propagate_param_taint(program, root, params):
+                where = ("" if len(hit.chain) == 1 else
+                         f" [call chain: "
+                         f"{_chain_label(program, hit.chain)}]")
+                findings.append(Finding(
+                    self.code, program.relpath_of(hit.function),
+                    hit.line, hit.col,
+                    f"kernel {classname}.{kernel} must not mutate "
+                    f"argument arrays: {hit.param!r} (aliases kernel "
+                    f"parameter {hit.root_param!r}) is mutated via "
+                    f"{hit.detail}{where}"))
+        return findings
+
+
+def _submit_roots(program: Program) -> Tuple[
+        List[Tuple[FunctionId, str]], List[Finding]]:
+    """Resolve ``.submit`` payloads; unpicklable ones are findings."""
+    roots: List[Tuple[FunctionId, str]] = []
+    findings: List[Finding] = []
+    for function in program.sorted_functions():
+        summary = program.summary(function)
+        relpath = program.relpath_of(function)
+        for kind, name, line, col in summary.submits:
+            if kind == "lambda":
+                findings.append(Finding(
+                    "REP009", relpath, line, col,
+                    f"lambda submitted to an executor from "
+                    f"{_label(program, function)} is unpicklable "
+                    f"under spawn; submit a module-level function"))
+                continue
+            if kind == "nested":
+                findings.append(Finding(
+                    "REP009", relpath, line, col,
+                    f"nested function {name!r} submitted to an "
+                    f"executor from {_label(program, function)} is "
+                    f"unpicklable under spawn; hoist it to module "
+                    f"level"))
+                continue
+            resolved: Optional[FunctionId]
+            if kind == "name":
+                resolved = program.resolve_callable_ref(
+                    function, ("name", name))
+            else:
+                resolved = program.resolve_callable_ref(
+                    function, ("dotted", name))
+            if resolved is not None:
+                roots.append((resolved, name))
+    return roots, findings
+
+
+class Rep009ProcessSafety(Rule):
+    """Worker-reachable code must not write module-level state."""
+
+    code = "REP009"
+    title = "worker-reachable module state write"
+    graph_rule = True
+
+    def check_program(self, program: Program) -> List[Finding]:
+        roots, findings = _submit_roots(program)
+        parents = reachable_from(program, [r for r, _ in roots])
+        payload_of = {}
+        for root, payload in roots:
+            payload_of.setdefault(root, payload)
+        for function in program.sorted_functions():
+            if function not in parents:
+                continue
+            summary = program.summary(function)
+            relpath = program.relpath_of(function)
+            chain = chain_to_root(parents, function)
+            payload = payload_of.get(chain[0], "?")
+            for name, line, col in summary.global_writes:
+                via = ("" if len(chain) == 1 else
+                       f" via {_chain_label(program, chain)}")
+                findings.append(Finding(
+                    self.code, relpath, line, col,
+                    f"write to module-level state {name!r} is "
+                    f"reachable from executor payload {payload!r}"
+                    f"{via}; workers must not mutate module state"))
+        findings.sort(key=lambda f: (f.path, f.line, f.col))
+        return findings
+
+
+register_rule(Rep007SeedProvenance())
+register_rule(Rep008KernelPurity())
+register_rule(Rep009ProcessSafety())

@@ -23,6 +23,10 @@ class Report:
     #: matched no finding.
     unused_suppressions: List[Tuple[str, int, str]] = \
         field(default_factory=list)
+    #: Incremental-cache accounting (zeros when the cache is off).
+    cache_enabled: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -51,6 +55,11 @@ def to_json_dict(report: Report) -> Dict[str, object]:
         "unused_suppressions": [
             {"path": path, "line": line, "rule": code}
             for path, line, code in report.unused_suppressions],
+        # Kept in its own key so warm/cold runs stay byte-identical
+        # everywhere else (compare the dict minus ``cache``).
+        "cache": {"enabled": report.cache_enabled,
+                  "hits": report.cache_hits,
+                  "misses": report.cache_misses},
     }
 
 
@@ -72,8 +81,38 @@ def render_human(report: Report, show_baselined: bool = False) -> str:
                      f"repro: noqa[{code}]")
     counts = report.counts()
     label = "finding" if counts["findings"] == 1 else "findings"
+    cache = (f", cache {report.cache_hits} hit"
+             f"{'s' if report.cache_hits != 1 else ''}/"
+             f"{report.cache_misses} miss"
+             f"{'es' if report.cache_misses != 1 else ''}"
+             if report.cache_enabled else "")
     lines.append(
         f"repro-analyze: {counts['findings']} {label} "
         f"({counts['baselined']} baselined, {counts['suppressed']} "
-        f"suppressed) across {counts['files']} files")
+        f"suppressed) across {counts['files']} files{cache}")
+    return "\n".join(lines)
+
+
+def _annotation_escape(text: str) -> str:
+    """Escape a message for a GitHub workflow-command annotation."""
+    return (text.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A"))
+
+
+def render_github(report: Report) -> str:
+    """GitHub Actions annotations: findings inline on the PR diff."""
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col},title={finding.rule}::"
+            f"{_annotation_escape(finding.message)}")
+    for path, line, code in report.unused_suppressions:
+        lines.append(
+            f"::warning file={path},line={line},title={code}::"
+            f"unused suppression repro: noqa[{code}]")
+    counts = report.counts()
+    lines.append(
+        f"repro-analyze: {counts['findings']} findings across "
+        f"{counts['files']} files")
     return "\n".join(lines)
