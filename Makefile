@@ -1,8 +1,8 @@
 # Convenience targets for the RTL-aware macro-placement reproduction.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-benchmarks lint analyze smoke-api bench-suite \
-	bench-anneal bench-referee check flows
+.PHONY: test test-benchmarks lint analyze smoke-api smoke-trace \
+	bench-suite bench-anneal bench-referee check flows
 
 # Tier-1 verification: the full unit-test suite.
 test:
@@ -41,6 +41,7 @@ check:
 	$(MAKE) analyze
 	python -m pytest -x -q tests
 	$(MAKE) smoke-api
+	$(MAKE) smoke-trace
 	$(MAKE) bench-referee
 
 # Fast smoke of the unified repro.api surface (registry, pipeline,
@@ -48,6 +49,16 @@ check:
 smoke-api:
 	python -m pytest -q tests/test_api_registry.py \
 	    tests/test_api_pipeline.py tests/test_api_suite.py
+
+# Traced 2-worker suite smoke: exercises cross-process span
+# collection end-to-end (two designs so the pool path actually runs)
+# and leaves a Perfetto-loadable artifact for CI to upload.
+smoke-trace:
+	python -m repro.cli suite --scale tiny --designs c1,c2 \
+	    --flows indeda,handfp-strip --effort fast --workers 2 \
+	    --trace benchmarks/artifacts/TRACE_smoke.json
+	python tools/trace_summary.py \
+	    benchmarks/artifacts/TRACE_smoke.json --top 12
 
 # Serial-vs-parallel suite wall-clock; writes
 # benchmarks/artifacts/BENCH_suite.json.

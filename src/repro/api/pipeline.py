@@ -18,7 +18,7 @@ Stages skip work whose product is already present on the artifacts
 
 from __future__ import annotations
 
-import time
+import logging
 from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple
 
@@ -31,9 +31,12 @@ from repro.hiergraph.gnet import build_gnet
 from repro.hiergraph.gseq import build_gseq
 from repro.hiergraph.hierarchy import build_hierarchy
 from repro.netlist.flatten import flatten
+from repro.obs import current_tracer, perf_seconds
 from repro.shapecurve.curve import ShapeCurve
 from repro.shapecurve.generation import generate_shape_curves
 from repro.slicing.tree import EvalStats
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -48,7 +51,12 @@ class Stage:
 
 
 class PipelineObserver:
-    """Hook base class; subclass and override what you need."""
+    """Hook base class; subclass and override what you need.
+
+    Observer exceptions never abort a run: :meth:`Pipeline.run` logs a
+    warning (and records an ``observer.error`` trace event) and keeps
+    placing.
+    """
 
     def on_stage_start(self, stage: Stage,
                        artifacts: RunArtifacts) -> None:
@@ -77,17 +85,36 @@ class Pipeline:
         self.observers.append(observer)
         return self
 
+    def _notify(self, callback_name: str, *args) -> None:
+        """Invoke one observer hook on every observer, exception-safe.
+
+        A broken observer must never abort a placement: failures are
+        logged, recorded as tracer events, and swallowed.
+        """
+        tracer = current_tracer()
+        for observer in self.observers:
+            try:
+                getattr(observer, callback_name)(*args)
+            except Exception as exc:
+                logger.warning("pipeline observer %r failed in %s: %s",
+                               observer, callback_name, exc)
+                tracer.event("observer.error",
+                             observer=type(observer).__name__,
+                             callback=callback_name, error=repr(exc))
+
     def run(self, artifacts: RunArtifacts) -> RunArtifacts:
         """Run every stage in order over ``artifacts``."""
+        tracer = current_tracer()
         for stage in self.stages:
-            for observer in self.observers:
-                observer.on_stage_start(stage, artifacts)
-            start = time.perf_counter()
-            stage.run(artifacts)
-            seconds = time.perf_counter() - start
+            self._notify("on_stage_start", stage, artifacts)
+            with tracer.span(stage.name):
+                start = perf_seconds()
+                stage.run(artifacts)
+                seconds = perf_seconds() - start
             artifacts.stage_seconds[stage.name] = seconds
-            for observer in self.observers:
-                observer.on_stage_end(stage, artifacts, seconds)
+            tracer.metrics.observe(f"stage.{stage.name}.seconds",
+                                   seconds)
+            self._notify("on_stage_end", stage, artifacts, seconds)
         return artifacts
 
 
@@ -114,9 +141,13 @@ def _stage_graphs(artifacts: RunArtifacts) -> None:
 
 
 def _merge_eval_counters(artifacts: RunArtifacts, stats) -> None:
-    for name, value in stats.as_dict().items():
+    counters = stats.as_dict()
+    for name, value in counters.items():
         artifacts.eval_counters[name] = (
             artifacts.eval_counters.get(name, 0) + value)
+    # Mirror the legacy counters into the active trace's registry so
+    # trace artifacts carry them without a second bookkeeping path.
+    current_tracer().metrics.absorb(counters)
 
 
 def _stage_shape_curves(artifacts: RunArtifacts) -> None:

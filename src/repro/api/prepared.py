@@ -19,6 +19,7 @@ from repro.hiergraph.gseq import Gseq, build_gseq
 from repro.hiergraph.hierarchy import HierTree, build_hierarchy
 from repro.netlist.core import Design
 from repro.netlist.flatten import FlatDesign, flatten
+from repro.obs import current_tracer
 
 #: ``build_gseq`` width threshold used for the shared cache; flows whose
 #: configuration matches reuse the cached graph, others rebuild.
@@ -61,28 +62,36 @@ class PreparedDesign:
     @property
     def flat(self) -> FlatDesign:
         if self._flat is None:
-            self._flat = flatten(self.design)
+            with current_tracer().span("prepare.flat",
+                                       design=self.design.name):
+                self._flat = flatten(self.design)
         return self._flat
 
     @property
     def gnet(self) -> Gnet:
         if self._gnet is None:
-            self._gnet = build_gnet(self.flat)
+            with current_tracer().span("prepare.gnet",
+                                       design=self.design.name):
+                self._gnet = build_gnet(self.flat)
         return self._gnet
 
     @property
     def gseq(self) -> Gseq:
         if self._gseq is None:
-            self._gseq = build_gseq(
-                self.gnet, self.flat,
-                min_bits=(DEFAULT_MIN_BITS if self.min_bits is None
-                          else self.min_bits))
+            with current_tracer().span("prepare.gseq",
+                                       design=self.design.name):
+                self._gseq = build_gseq(
+                    self.gnet, self.flat,
+                    min_bits=(DEFAULT_MIN_BITS if self.min_bits is None
+                              else self.min_bits))
         return self._gseq
 
     @property
     def tree(self) -> HierTree:
         if self._tree is None:
-            self._tree = build_hierarchy(self.flat)
+            with current_tracer().span("prepare.tree",
+                                       design=self.design.name):
+                self._tree = build_hierarchy(self.flat)
         return self._tree
 
     @property
@@ -95,7 +104,9 @@ class PreparedDesign:
         shares one :class:`~repro.metrics.netarrays.NetArrays`.
         """
         from repro.metrics import net_arrays_for
-        return net_arrays_for(self.flat)
+        with current_tracer().span("prepare.net_arrays",
+                                   design=self.design.name):
+            return net_arrays_for(self.flat)
 
     @property
     def stdcell_arrays(self):
@@ -109,7 +120,9 @@ class PreparedDesign:
         """
         from repro.metrics import stdcell_arrays_for
         from repro.placement.cluster import clustered_for
-        return stdcell_arrays_for(clustered_for(self.flat))
+        with current_tracer().span("prepare.stdcell_arrays",
+                                   design=self.design.name):
+            return stdcell_arrays_for(clustered_for(self.flat))
 
     @property
     def timing_arrays(self):
@@ -120,7 +133,9 @@ class PreparedDesign:
         differently-thresholded graph compile their own.
         """
         from repro.metrics import timing_arrays_for
-        return timing_arrays_for(self.gseq, self.flat)
+        with current_tracer().span("prepare.timing_arrays",
+                                   design=self.design.name):
+            return timing_arrays_for(self.gseq, self.flat)
 
     def info(self) -> str:
         """The suite table's design summary line."""
@@ -153,8 +168,9 @@ class PreparedDesign:
 
 def prepare_design(spec: DesignSpec) -> PreparedDesign:
     """Build one suite design, size its die, wrap it for caching."""
-    design, truth = build_design(spec)
-    die_w, die_h = die_for(design, utilization=spec.utilization)
+    with current_tracer().span("prepare.design", design=spec.name):
+        design, truth = build_design(spec)
+        die_w, die_h = die_for(design, utilization=spec.utilization)
     return PreparedDesign(design=design, die_w=die_w, die_h=die_h,
                           truth=truth, spec=spec)
 

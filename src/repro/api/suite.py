@@ -10,10 +10,11 @@ identical to a serial one.
 
 from __future__ import annotations
 
-import time
+import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 from repro.api.prepared import (
     PreparedDesign,
@@ -23,6 +24,13 @@ from repro.api.prepared import (
 from repro.api.registry import get_flow, parse_flow_spec
 from repro.core.config import Effort
 from repro.gen.designs import suite_specs
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    perf_seconds,
+    use_tracer,
+    write_chrome_trace,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - avoids an eval<->api cycle
     from repro.eval.flow import FlowMetrics
@@ -37,6 +45,10 @@ class SuiteResult:
     rows: List["FlowMetrics"] = field(default_factory=list)
     design_info: Dict[str, str] = field(default_factory=dict)
     total_seconds: float = 0.0
+    #: Tracer payloads (one per traced process, serial task order)
+    #: when ``run_suite(trace=...)`` was used; ``None`` otherwise.
+    #: Timing-only — excluded from every row/table comparison.
+    trace: Optional[List[Dict[str, Any]]] = None
 
     def rows_for(self, design: str) -> List["FlowMetrics"]:
         return [r for r in self.rows if r.design == design]
@@ -162,13 +174,31 @@ def _run_one(prepared: PreparedDesign, flow: str, seed: int,
 
 def _suite_task(scale: str, design_name: str, flow: str, seed: int,
                 effort_value: str,
-                referee_backend: Optional[str] = None
-                ) -> Tuple[str, str, "FlowMetrics", str]:
-    """One (design, flow) cell, executed inside a pool worker."""
-    prepared = _prepared_for(scale, design_name)
-    metrics = _run_one(prepared, flow, seed, Effort(effort_value),
-                       referee_backend)
-    return design_name, flow, metrics, prepared.info()
+                referee_backend: Optional[str] = None,
+                trace: bool = False
+                ) -> Tuple[str, str, "FlowMetrics", str,
+                           Optional[Dict[str, Any]]]:
+    """One (design, flow) cell, executed inside a pool worker.
+
+    With ``trace`` on, the cell runs under a worker-local tracer and
+    ships its span-tree payload back through the pool's result path —
+    this is how a parallel suite trace shows each worker's own
+    ``prepare.*`` recompilation cost.  One tracer per cell (not per
+    worker) keeps payload transport on the existing result channel
+    with no worker-exit hooks.
+    """
+    if not trace:
+        prepared = _prepared_for(scale, design_name)
+        metrics = _run_one(prepared, flow, seed, Effort(effort_value),
+                           referee_backend)
+        return design_name, flow, metrics, prepared.info(), None
+    tracer = Tracer(f"worker-{os.getpid()}")
+    with use_tracer(tracer):
+        with tracer.span("suite.task", design=design_name, flow=flow):
+            prepared = _prepared_for(scale, design_name)
+            metrics = _run_one(prepared, flow, seed,
+                               Effort(effort_value), referee_backend)
+    return design_name, flow, metrics, prepared.info(), tracer.payload()
 
 
 def run_suite(scale: str = "bench",
@@ -178,7 +208,8 @@ def run_suite(scale: str = "bench",
               effort: Effort = Effort.NORMAL,
               verbose: bool = False,
               workers: Optional[int] = None,
-              referee_backend: Optional[str] = None) -> SuiteResult:
+              referee_backend: Optional[str] = None,
+              trace=None) -> SuiteResult:
     """Run every flow on every (selected) suite design.
 
     ``workers=None`` (or 1) runs serially in-process; ``workers=N``
@@ -187,15 +218,27 @@ def run_suite(scale: str = "bench",
     ``referee_backend`` picks the referee kernels by name for every
     flow (``None`` → the :mod:`repro.metrics` default); builtin
     backends are bit-identical, so rows do not depend on the choice.
+
+    ``trace`` turns on :mod:`repro.obs` span recording for the run and
+    every (design, flow) cell — including cells inside pool workers,
+    whose span trees ride back on the pool's result path.  A path
+    writes a Chrome trace-event file (viewable in Perfetto /
+    ``chrome://tracing``); ``True`` only collects.  Either way the
+    payloads land on ``SuiteResult.trace`` in serial task order, main
+    process first.  Tracing never changes rows (asserted in
+    ``tests/test_obs_determinism.py``).
     """
     from repro.eval.tables import normalize_to_handfp
 
-    start = time.perf_counter()
+    start = perf_seconds()
+    tracing = bool(trace)
+    tracer = Tracer("main") if tracing else None
     result = SuiteResult()
     specs = [spec for spec in suite_specs(scale)
              if designs is None or spec.name in designs]
     flows = tuple(flows)
     tasks = [(spec.name, flow) for spec in specs for flow in flows]
+    payloads: Dict[Tuple[str, str], Dict[str, Any]] = {}
 
     if workers is not None and workers > 1 and len(tasks) > 1:
         done: Dict[Tuple[str, str], Tuple["FlowMetrics", str]] = {}
@@ -207,11 +250,15 @@ def run_suite(scale: str = "bench",
                           default_backend)) as pool:
             futures = {
                 pool.submit(_suite_task, scale, name, flow, seed,
-                            effort.value, referee_backend): (name, flow)
+                            effort.value, referee_backend,
+                            tracing): (name, flow)
                 for name, flow in tasks}
             for future in as_completed(futures):
-                design_name, flow, metrics, info = future.result()
+                design_name, flow, metrics, info, payload = (
+                    future.result())
                 done[(design_name, flow)] = (metrics, info)
+                if payload is not None:
+                    payloads[(design_name, flow)] = payload
                 if verbose:
                     print(metrics.row(), flush=True)
         for name, flow in tasks:                   # serial row order
@@ -219,16 +266,28 @@ def run_suite(scale: str = "bench",
             result.design_info.setdefault(name, info)
             result.rows.append(metrics)
     else:
-        for spec in specs:
-            prepared = prepare_design(spec)
-            result.design_info[spec.name] = prepared.info()
-            for flow in flows:
-                metrics = _run_one(prepared, flow, seed, effort,
-                                   referee_backend)
-                result.rows.append(metrics)
-                if verbose:
-                    print(metrics.row(), flush=True)
+        with use_tracer(tracer) if tracing else nullcontext():
+            active = tracer if tracing else NULL_TRACER
+            for spec in specs:
+                prepared = prepare_design(spec)
+                result.design_info[spec.name] = prepared.info()
+                for flow in flows:
+                    with active.span("suite.task", design=spec.name,
+                                     flow=flow):
+                        metrics = _run_one(prepared, flow, seed,
+                                           effort, referee_backend)
+                    result.rows.append(metrics)
+                    if verbose:
+                        print(metrics.row(), flush=True)
 
     normalize_to_handfp(result.rows)
-    result.total_seconds = time.perf_counter() - start
+    result.total_seconds = perf_seconds() - start
+    if tracing:
+        tracer.metrics.gauge("suite.total_seconds",
+                             result.total_seconds)
+        tracer.metrics.label("suite.scale", scale)
+        result.trace = [tracer.payload()] + [
+            payloads[key] for key in tasks if key in payloads]
+        if not isinstance(trace, bool):
+            write_chrome_trace(trace, result.trace)
     return result

@@ -18,7 +18,6 @@ intended subsystem dataflow order — and a generous refinement budget:
 
 from __future__ import annotations
 
-import time
 from typing import List, Tuple
 
 from repro.baselines.common import (
@@ -35,6 +34,7 @@ from repro.hiergraph.gnet import build_gnet
 from repro.hiergraph.gseq import build_gseq
 from repro.hiergraph.hierarchy import build_hierarchy
 from repro.netlist.flatten import FlatDesign, flatten
+from repro.obs import perf_seconds
 
 _LAM = 0.5
 _LATENCY_K = 1.0
@@ -88,7 +88,7 @@ def place_handfp(design, truth: GroundTruth, die_w: float, die_h: float,
     a :class:`repro.api.prepared.PreparedDesign`) to avoid rebuilding
     them; they must belong to the same flattened design.
     """
-    start = time.perf_counter()
+    start = perf_seconds()
     flat = design if isinstance(design, FlatDesign) else flatten(design)
     die = Rect(0.0, 0.0, float(die_w), float(die_h))
     if gnet is None:
@@ -163,5 +163,5 @@ def place_handfp(design, truth: GroundTruth, die_w: float, die_h: float,
                 cell_index=cell_index, path=cell.path, rect=rect,
                 orientation=Orientation.E if swapped else Orientation.N)
 
-    placement.runtime_seconds = time.perf_counter() - start
+    placement.runtime_seconds = perf_seconds() - start
     return placement

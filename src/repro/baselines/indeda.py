@@ -14,7 +14,6 @@ analysis, and runtime is short.  Concretely:
 
 from __future__ import annotations
 
-import time
 from typing import List, Tuple
 
 from repro.baselines.common import (
@@ -29,6 +28,7 @@ from repro.geometry.rect import Point, Rect
 from repro.hiergraph.gnet import build_gnet
 from repro.hiergraph.gseq import build_gseq
 from repro.netlist.flatten import FlatDesign, flatten
+from repro.obs import perf_seconds
 
 #: The tool's effective view of dataflow: block and macro flow blended
 #: evenly but with a strong latency decay — far-apart pipeline stages
@@ -71,7 +71,7 @@ def place_indeda(design, die_w: float, die_h: float,
     """
     from repro.baselines.common import order_cost
 
-    start = time.perf_counter()
+    start = perf_seconds()
     flat = design if isinstance(design, FlatDesign) else flatten(design)
     die = Rect(0.0, 0.0, float(die_w), float(die_h))
     if gnet is None:
@@ -113,5 +113,5 @@ def place_indeda(design, die_w: float, die_h: float,
                                 passes=refinement_passes)
     placement = to_placement(flat, die, order, rects, macro_cells,
                              "indeda", flat.design.name)
-    placement.runtime_seconds = time.perf_counter() - start
+    placement.runtime_seconds = perf_seconds() - start
     return placement

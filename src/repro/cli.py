@@ -65,6 +65,13 @@ def cmd_gen(args: argparse.Namespace) -> int:
 
 
 def cmd_place(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        Tracer,
+        render_summary,
+        use_tracer,
+        write_chrome_trace,
+    )
+
     if args.design.endswith(".json"):
         design = load_design(args.design)
         truth = None
@@ -80,15 +87,27 @@ def cmd_place(args: argparse.Namespace) -> int:
         defaults["lam"] = args.lam
     if args.referee is not None:
         defaults["referee_backend"] = args.referee
+    tracing = bool(args.trace or args.verbose)
+    tracer = Tracer("main") if tracing else None
     try:
         placer = get_flow(args.flow, **defaults)
         prepared = PreparedDesign(design=design, die_w=die_w,
                                   die_h=die_h, truth=truth)
-        placement = placer.place(prepared)
+        if tracing:
+            with use_tracer(tracer):
+                placement = placer.place(prepared)
+        else:
+            placement = placer.place(prepared)
     except UnknownFlowError as exc:
         return _fail(f"{exc} (see `hidap flows`)")
     except FlowError as exc:
         return _fail(str(exc))
+
+    if args.trace:
+        write_chrome_trace(args.trace, [tracer.payload()])
+        print(f"wrote {args.trace} (open in https://ui.perfetto.dev)")
+    if args.verbose:
+        print(render_summary([tracer.payload()]))
 
     print(placement.summary())
     out = {
@@ -124,6 +143,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
                            seed=args.seed, effort=Effort(args.effort),
                            verbose=True, workers=args.workers,
                            referee_backend=args.referee,
+                           trace=args.trace or args.verbose,
                            **kwargs)
     except FlowError as exc:
         return _fail(f"{exc} (see `hidap flows`)")
@@ -132,6 +152,12 @@ def cmd_suite(args: argparse.Namespace) -> int:
     print()
     print(format_table2(result.rows))
     print(f"\nsuite wall-clock: {result.total_seconds:.1f}s")
+    if args.trace:
+        print(f"wrote {args.trace} (open in https://ui.perfetto.dev)")
+    if args.verbose and result.trace:
+        from repro.obs import render_summary
+        print()
+        print(render_summary(result.trace))
     return 0
 
 
@@ -202,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar=("W", "H"))
     p.add_argument("--out", default=None, help="placement JSON path")
     p.add_argument("--svg", default=None, help="floorplan SVG path")
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="record spans to a Chrome trace-event file "
+                        "(view in Perfetto / chrome://tracing)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print a per-stage timing footer")
     p.set_defaults(func=cmd_place)
 
     p = sub.add_parser("suite", help="run the three-flow comparison")
@@ -221,6 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(python|numpy|...; default: numpy)")
     p.add_argument("--workers", type=int, default=None,
                    help="fan (design, flow) pairs over N processes")
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="record spans (incl. per-worker ones) to a "
+                        "Chrome trace-event file")
+    p.add_argument("--verbose", action="store_true",
+                   help="print a per-task timing footer")
     p.set_defaults(func=cmd_suite)
 
     p = sub.add_parser("flows", help="list registered flows")

@@ -11,7 +11,6 @@ record kept as ``self.artifacts``; the historical instance attributes
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Optional, Sequence, TYPE_CHECKING, Union
 
 from repro.core.config import HiDaPConfig
@@ -19,6 +18,7 @@ from repro.core.result import MacroPlacement
 from repro.geometry.rect import Point, Rect
 from repro.netlist.core import Design
 from repro.netlist.flatten import FlatDesign
+from repro.obs import current_tracer, perf_seconds
 from repro.shapecurve.curve import ShapeCurve
 
 if TYPE_CHECKING:  # pragma: no cover - lazy to avoid core<->api cycle
@@ -87,7 +87,7 @@ class HiDaP:
         from repro.api.artifacts import RunArtifacts
         from repro.api.pipeline import build_hidap_pipeline
 
-        start = time.perf_counter()
+        start = perf_seconds()
         die = Rect(0.0, 0.0, float(die_width), float(die_height))
         flat = design if isinstance(design, FlatDesign) else None
         artifacts = RunArtifacts(
@@ -99,8 +99,12 @@ class HiDaP:
         # Expose the record before running so partially filled
         # artifacts stay inspectable if a stage raises.
         self.artifacts = artifacts
-        pipeline.run(artifacts)
+        design_name = artifacts.design.name if artifacts.design else "?"
+        with current_tracer().span("place", design=design_name,
+                                   flow=flow_name,
+                                   lam=self.config.lam):
+            pipeline.run(artifacts)
 
         placement = artifacts.require_placement()
-        placement.runtime_seconds = time.perf_counter() - start
+        placement.runtime_seconds = perf_seconds() - start
         return placement

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, MutableMapping, Optional
 
@@ -13,6 +12,7 @@ from repro.gen.spec import GroundTruth
 from repro.hiergraph.gnet import build_gnet
 from repro.hiergraph.gseq import build_gseq
 from repro.netlist.flatten import FlatDesign
+from repro.obs import current_tracer, perf_seconds
 from repro.placement.stdcell import PlacerConfig, place_cells
 from repro.timing.sta import analyze_timing
 
@@ -69,50 +69,62 @@ def evaluate_placement(flat: FlatDesign, placement: MacroPlacement,
     ``referee_timing_us``, integer microseconds) are recorded into it;
     the same record lands on the returned row's ``eval_counters``.
     """
-    from repro.metrics import get_backend, locate_endpoints, net_arrays_for
+    from repro.metrics import (
+        get_backend,
+        locate_endpoints,
+        net_arrays_for,
+        traced_backend,
+    )
 
     die = placement.die
     port_positions = assign_port_positions(flat.design, die)
     if gseq is None:
         gseq = build_gseq(build_gnet(flat), flat)
 
-    resolved = get_backend(backend)
+    tracer = current_tracer()
+    resolved = traced_backend(get_backend(backend), tracer)
     arrays = net_arrays_for(flat) if resolved.uses_net_arrays else None
     counters = counters if counters is not None else {}
     counters["referee_backend"] = resolved.name
 
     def timed(key, fn):
-        # Wall-clock feeds the referee_*_us observability counters
+        # The obs clock feeds the referee_*_us observability counters
         # only — it never reaches a metric value or an RNG stream.
-        start = time.perf_counter()  # repro: noqa[REP006] counters only
+        start = perf_seconds()
         result = fn()
         counters[key] = counters.get(key, 0) + int(
-            1e6 * (time.perf_counter() - start))  # repro: noqa[REP006]
+            1e6 * (perf_seconds() - start))
         return result
 
-    cells = timed("referee_stdcell_us",
-                  lambda: place_cells(flat, placement, port_positions,
-                                      config=placer_config,
-                                      backend=resolved))
-    # Locate every endpoint once; both array kernels share the result.
-    coords = (timed("referee_locate_us",
+    with tracer.span("referee", design=flat.design.name,
+                     flow=placement.flow_name, backend=resolved.name):
+        cells = timed("referee_stdcell_us",
+                      lambda: place_cells(flat, placement, port_positions,
+                                          config=placer_config,
+                                          backend=resolved))
+        # Locate every endpoint once; both array kernels share the
+        # result.
+        coords = None
+        if arrays is not None:
+            with tracer.span("referee.locate"):
+                coords = timed(
+                    "referee_locate_us",
                     lambda: locate_endpoints(arrays, placement, cells,
                                              port_positions))
-              if arrays is not None else None)
-    wl = timed("referee_hpwl_us",
-               lambda: resolved.hpwl(flat, placement, cells,
-                                     port_positions, arrays=arrays,
-                                     coords=coords))
-    congestion = timed("referee_congestion_us",
-                       lambda: resolved.congestion(flat, placement, cells,
-                                                   port_positions,
-                                                   arrays=arrays,
-                                                   coords=coords))
-    timing = timed("referee_timing_us",
-                   lambda: analyze_timing(flat, gseq, placement, cells,
-                                          port_positions,
-                                          clock_period=clock_period,
-                                          backend=resolved))
+        wl = timed("referee_hpwl_us",
+                   lambda: resolved.hpwl(flat, placement, cells,
+                                         port_positions, arrays=arrays,
+                                         coords=coords))
+        congestion = timed("referee_congestion_us",
+                           lambda: resolved.congestion(
+                               flat, placement, cells, port_positions,
+                               arrays=arrays, coords=coords))
+        timing = timed("referee_timing_us",
+                       lambda: analyze_timing(flat, gseq, placement,
+                                              cells, port_positions,
+                                              clock_period=clock_period,
+                                              backend=resolved))
+    tracer.metrics.absorb(counters)
     return FlowMetrics(
         design=flat.design.name,
         flow=placement.flow_name,
@@ -130,7 +142,8 @@ def run_flow(flat: FlatDesign, truth: Optional[GroundTruth],
              effort: Effort = Effort.NORMAL,
              clock_period: Optional[float] = None,
              gseq=None,
-             referee_backend: Optional[str] = None) -> FlowMetrics:
+             referee_backend: Optional[str] = None,
+             trace=None) -> FlowMetrics:
     """Place with ``flow`` and evaluate with the shared referee.
 
     A thin shim over the flow registry (:mod:`repro.api.registry`):
@@ -140,6 +153,12 @@ def run_flow(flat: FlatDesign, truth: Optional[GroundTruth],
     you registered yourself... — with the legacy ``hidap-l<λ>``
     spelling still accepted.  ``referee_backend`` picks the referee
     kernels by name (``None`` → the registry default).
+
+    ``trace`` turns on :mod:`repro.obs` span recording: a path writes
+    a Chrome trace-event file (viewable in Perfetto), ``True`` only
+    collects — either way the tracer payloads land on the returned
+    row's ``trace`` attribute.  Tracing never changes the placement or
+    the metric values (see ``tests/test_obs_determinism.py``).
     """
     from repro.api import get_flow
     from repro.api.prepared import PreparedDesign
@@ -148,4 +167,19 @@ def run_flow(flat: FlatDesign, truth: Optional[GroundTruth],
                                         truth=truth, gseq=gseq)
     placer = get_flow(flow, seed=seed, effort=effort,
                       referee_backend=referee_backend)
-    return placer.evaluate(prepared, clock_period=clock_period)
+    if not trace:
+        return placer.evaluate(prepared, clock_period=clock_period)
+
+    from repro.obs import Tracer, use_tracer, write_chrome_trace
+
+    tracer = Tracer("run_flow")
+    with use_tracer(tracer):
+        with tracer.span("flow.place", design=flat.design.name,
+                         flow=flow):
+            metrics = placer.evaluate(prepared,
+                                      clock_period=clock_period)
+    payloads = [tracer.payload()]
+    if not isinstance(trace, bool):
+        write_chrome_trace(trace, payloads)
+    metrics.trace = payloads
+    return metrics

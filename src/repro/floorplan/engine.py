@@ -29,6 +29,7 @@ from repro.memo import BoundedStore
 from repro.floorplan.budget import BudgetReport, LayoutCache, budgeted_layout
 from repro.floorplan.cost import CostModel, CostWeights
 from repro.geometry.rect import Rect
+from repro.obs import current_tracer
 from repro.slicing.anneal import AnnealConfig, Annealer
 from repro.slicing.polish import H, PolishExpression, V
 from repro.slicing.tree import (
@@ -223,6 +224,12 @@ def generate_layout(problem: LayoutProblem,
                     config: Optional[LayoutConfig] = None) -> LayoutResult:
     """Find block coordinates for one floorplanning instance."""
     config = config or LayoutConfig()
+    with current_tracer().span("layout", blocks=len(problem.blocks)):
+        return _generate_layout(problem, config)
+
+
+def _generate_layout(problem: LayoutProblem,
+                     config: LayoutConfig) -> LayoutResult:
     scale = max(problem.region.w + problem.region.h, 1e-12)
     model = CostModel(problem.blocks, problem.terminals, problem.affinity,
                       config.weights, scale=scale,

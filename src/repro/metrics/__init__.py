@@ -37,11 +37,13 @@ from repro.metrics.backends import (
     MetricsBackendError,
     PythonBackend,
     RefereeBackend,
+    TracedBackend,
     available_backends,
     default_backend_name,
     get_backend,
     register_backend,
     set_default_backend,
+    traced_backend,
     unregister_backend,
 )
 from repro.metrics.netarrays import (
@@ -74,6 +76,7 @@ __all__ = [
     "RefereeBackend",
     "StdcellArrays",
     "TimingArrays",
+    "TracedBackend",
     "available_backends",
     "compile_net_arrays",
     "compile_stdcell_arrays",
@@ -86,5 +89,6 @@ __all__ = [
     "set_default_backend",
     "stdcell_arrays_for",
     "timing_arrays_for",
+    "traced_backend",
     "unregister_backend",
 ]

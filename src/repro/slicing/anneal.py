@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.obs import current_tracer
 from repro.slicing.moves import perturb
 from repro.slicing.polish import PolishExpression
 
@@ -192,10 +193,18 @@ class Annealer:
         * restart 0, with the default configuration, reproduces the
           single-restart results of the historical engine exactly.
         """
+        tracer = current_tracer()
         best_result: Optional[AnnealResult] = None
         for restart in range(max(1, self.config.restarts)):
             rng = random.Random(self.config.restart_seed(restart))
-            result = self._run_once(initial, rng)
+            # Span granularity is one restart, not one move: the
+            # disabled-mode overhead gate in benchmarks/bench_anneal.py
+            # only holds because the inner accept/reject loop stays
+            # untraced.
+            with tracer.span(f"restart[{restart}]") as span:
+                result = self._run_once(initial, rng)
+                span.set(moves=result.moves_tried,
+                         accepted=result.moves_accepted)
             if best_result is None or result.best_cost < best_result.best_cost:
                 best_result = result
         return best_result

@@ -1,0 +1,15 @@
+"""A kernel timing itself with direct clock reads (REP006 must flag).
+
+The sanctioned pattern is ``repro.obs.clock.perf_seconds`` — see the
+``obs_clock_good.py`` twin of this fixture.
+"""
+
+import time
+
+
+def kernel_with_stopwatch(values):
+    start = time.perf_counter()
+    total = 0.0
+    for value in values:
+        total += value
+    return total, time.perf_counter() - start

@@ -1,0 +1,16 @@
+"""The same kernel timed through the sanctioned obs clock (clean).
+
+``perf_seconds`` is not a ``time.*`` read at the call site, so REP006
+stays quiet here while still guarding the clock module itself — its
+two suppressed reads are the only ones in ``src/``.
+"""
+
+from repro.obs.clock import perf_seconds
+
+
+def kernel_with_stopwatch(values):
+    start = perf_seconds()
+    total = 0.0
+    for value in values:
+        total += value
+    return total, perf_seconds() - start

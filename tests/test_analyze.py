@@ -77,6 +77,42 @@ def test_rep006_flags_wall_clock_and_env():
     assert len(report.findings) == 3
 
 
+def test_rep006_obs_clock_bad_flags_direct_reads():
+    report = analyze_fixture("obs_clock_bad.py")
+    assert rules_hit(report) == {"REP006"}
+    # Both direct time.perf_counter() calls.
+    assert len(report.findings) == 2
+
+
+def test_rep006_obs_clock_good_is_clean():
+    report = analyze_fixture("obs_clock_good.py")
+    assert report.ok
+    assert not report.findings
+
+
+def test_obs_clock_module_is_the_only_clock_reader_in_src():
+    """The single-clock invariant behind the REP006 exception.
+
+    Every wall-clock read in ``src/`` must live in
+    ``repro/obs/clock.py`` (where the two justified suppressions are);
+    instrumentation added anywhere else must call through it.  Checked
+    against the analyzer's effect summaries, which canonicalize
+    imports, so aliased reads (``from time import perf_counter``)
+    cannot slip by.
+    """
+    src = REPO / "src" / "repro"
+    readers = {}
+    for path in sorted(src.rglob("*.py")):
+        summary = summarize_module(ast.parse(path.read_text()),
+                                   str(path))
+        reads = [read for function in summary.functions.values()
+                 for read in function.clock_reads
+                 if read[0].startswith(("time.", "datetime."))]
+        if reads:
+            readers[path.relative_to(src).as_posix()] = reads
+    assert set(readers) == {"obs/clock.py"}, readers
+
+
 def test_clean_fixture_has_no_findings():
     report = analyze_fixture("clean.py")
     assert report.ok

@@ -1,0 +1,277 @@
+"""Unit tests for repro.obs: tracer, registry, sinks, observer safety."""
+
+import json
+import logging
+
+import pytest
+
+from repro.api import Pipeline, PipelineObserver, RunArtifacts, Stage
+from repro.geometry.rect import Rect
+from repro.obs import (
+    NULL_REGISTRY,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    current_tracer,
+    render_summary,
+    use_tracer,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+from tools.trace_summary import load_spans, summarize
+
+
+# -- metrics registry -------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("n")
+        reg.counter("n", 4)
+        assert reg.counters["n"] == 5
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", 1.0)
+        reg.gauge("g", 2.5)
+        assert reg.gauges["g"] == 2.5
+
+    def test_observe_histogram_summary(self):
+        reg = MetricsRegistry()
+        for value in (3.0, 1.0, 2.0):
+            reg.observe("h", value)
+        assert reg.histograms["h"] == [3, 6.0, 1.0, 3.0]
+
+    def test_absorb_roundtrips_eval_counters(self):
+        legacy = {"cost_evals": 120, "referee_backend": "numpy",
+                  "subtree_hits": 7}
+        reg = MetricsRegistry()
+        reg.absorb(legacy)
+        assert reg.as_eval_counters() == legacy
+
+    def test_absorb_twice_sums_numerics(self):
+        reg = MetricsRegistry()
+        reg.absorb({"cost_evals": 10})
+        reg.absorb({"cost_evals": 5})
+        assert reg.as_eval_counters()["cost_evals"] == 15
+
+    def test_merge_folds_worker_payload(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n", 1)
+        a.observe("h", 2.0)
+        b.counter("n", 2)
+        b.observe("h", 5.0)
+        a.merge(b.to_dict())
+        assert a.counters["n"] == 3
+        assert a.histograms["h"] == [2, 7.0, 2.0, 5.0]
+
+    def test_null_registry_records_nothing(self):
+        NULL_REGISTRY.counter("n")
+        NULL_REGISTRY.gauge("g", 1)
+        NULL_REGISTRY.observe("h", 1)
+        NULL_REGISTRY.absorb({"x": 1})
+        assert NULL_REGISTRY.counters == {}
+        assert NULL_REGISTRY.as_eval_counters() == {}
+
+
+# -- tracer -----------------------------------------------------------------
+
+class TestTracer:
+    def test_spans_nest_into_a_tree(self):
+        tracer = Tracer("t")
+        with tracer.span("a"):
+            with tracer.span("b", k=1):
+                pass
+            with tracer.span("c"):
+                pass
+        assert [s.name for s in tracer.roots] == ["a"]
+        children = tracer.roots[0].children
+        assert [s.name for s in children] == ["b", "c"]
+        assert children[0].attrs == {"k": 1}
+        assert all(s.t1 >= s.t0 for s in [tracer.roots[0]] + children)
+
+    def test_exception_annotates_and_closes_span(self):
+        tracer = Tracer("t")
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert tracer.roots[0].attrs["error"] == "ValueError"
+        assert not tracer._stack
+
+    def test_payload_is_json_serializable(self):
+        tracer = Tracer("t")
+        with tracer.span("a", design="c1"):
+            tracer.event("tick", n=1)
+        tracer.metrics.counter("n")
+        payload = json.loads(json.dumps(tracer.payload()))
+        assert payload["label"] == "t"
+        assert payload["spans"][0]["name"] == "a"
+        assert payload["events"][0]["name"] == "tick"
+        assert payload["metrics"]["counters"] == {"n": 1}
+
+    def test_default_tracer_is_the_shared_noop(self):
+        assert current_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+        span = NULL_TRACER.span("anything", k=1)
+        assert span is NULL_TRACER.span("other")
+        with span as entered:
+            assert entered is span
+        assert NULL_TRACER.metrics is NULL_REGISTRY
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer("t")
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            inner = Tracer("inner")
+            with use_tracer(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+
+# -- sinks ------------------------------------------------------------------
+
+def _sample_payloads():
+    tracer = Tracer("main")
+    with tracer.span("outer", design="c1"):
+        with tracer.span("inner"):
+            pass
+        tracer.event("mark", n=2)
+    tracer.metrics.counter("cost_evals", 3)
+    worker = Tracer("worker-1")
+    worker.pid = tracer.pid + 1
+    with use_tracer(worker):
+        with worker.span("outer"):
+            pass
+    return [tracer.payload(), worker.payload()]
+
+
+class TestSinks:
+    def test_chrome_trace_structure(self):
+        doc = chrome_trace(_sample_payloads())
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {m["args"]["name"] for m in meta} == {"main", "worker-1"}
+        assert {e["name"] for e in spans} == {"outer", "inner"}
+        assert len({e["pid"] for e in spans}) == 2
+        assert instants[0]["name"] == "mark"
+        # Wall-anchored ts: children start at/after their parent.
+        outer = next(e for e in spans if e["name"] == "outer")
+        inner = next(e for e in spans if e["name"] == "inner")
+        assert inner["ts"] >= outer["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1
+
+    def test_write_chrome_trace_loads_back(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, _sample_payloads())
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, _sample_payloads())
+        rows = [json.loads(line)
+                for line in path.read_text().splitlines()]
+        kinds = {row["kind"] for row in rows}
+        assert kinds == {"process", "span", "event", "metrics"}
+        span_rows = [r for r in rows if r["kind"] == "span"]
+        assert {r["depth"] for r in span_rows} == {0, 1}
+
+    def test_render_summary_tree_and_counters(self):
+        text = render_summary(_sample_payloads())
+        assert "2 process(es)" in text
+        assert "outer x2" in text       # merged across processes
+        assert "  " in text             # child indentation
+        assert "cost_evals = 3" in text
+
+    def test_trace_summary_tool_reads_both_formats(self, tmp_path):
+        payloads = _sample_payloads()
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        write_chrome_trace(chrome, payloads)
+        write_jsonl(jsonl, payloads)
+        for path in (chrome, jsonl):
+            agg = summarize(load_spans(str(path)))
+            assert agg["outer"][1] == 2         # count
+            assert len(agg["outer"][3]) == 2    # distinct pids
+
+
+# -- pipeline observer exception safety -------------------------------------
+
+class _FailingObserver(PipelineObserver):
+    def on_stage_start(self, stage, artifacts):
+        raise RuntimeError("observer exploded")
+
+
+class TestObserverSafety:
+    def _pipeline(self, observer):
+        ran = []
+        return ran, Pipeline([Stage("s", lambda a: ran.append("s"))],
+                             observers=[observer])
+
+    def test_failing_observer_does_not_abort_the_run(self, caplog):
+        ran, pipeline = self._pipeline(_FailingObserver())
+        with caplog.at_level(logging.WARNING, "repro.api.pipeline"):
+            pipeline.run(RunArtifacts(die=Rect(0, 0, 1, 1)))
+        assert ran == ["s"]
+        assert any("observer" in rec.message.lower()
+                   for rec in caplog.records)
+
+    def test_failure_is_recorded_as_a_trace_event(self):
+        tracer = Tracer("t")
+        _ran, pipeline = self._pipeline(_FailingObserver())
+        with use_tracer(tracer):
+            pipeline.run(RunArtifacts(die=Rect(0, 0, 1, 1)))
+        errors = [e for e in tracer.events
+                  if e["name"] == "observer.error"]
+        assert errors
+        assert errors[0]["attrs"]["observer"] == "_FailingObserver"
+
+    def test_healthy_observers_still_called_after_a_failure(self):
+        calls = []
+
+        class Healthy(PipelineObserver):
+            def on_stage_start(self, stage, artifacts):
+                calls.append(stage.name)
+
+        pipeline = Pipeline([Stage("s", lambda a: None)],
+                            observers=[_FailingObserver(), Healthy()])
+        pipeline.run(RunArtifacts(die=Rect(0, 0, 1, 1)))
+        assert calls == ["s"]
+
+
+# -- CLI surface ------------------------------------------------------------
+
+class TestCliTrace:
+    def test_place_trace_and_verbose(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "trace.json"
+        assert main(["place", "c1", "--scale", "tiny",
+                     "--flow", "indeda", "--effort", "fast",
+                     "--trace", str(out), "--verbose"]) == 0
+        doc = json.loads(out.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "prepare.flat" in names
+        text = capsys.readouterr().out
+        assert "trace:" in text         # the summary footer
+        assert str(out) in text
+
+    def test_suite_trace_artifact(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "trace.json"
+        assert main(["suite", "--scale", "tiny", "--designs", "c1",
+                     "--flows", "indeda,handfp-strip",
+                     "--effort", "fast", "--trace", str(out),
+                     "--verbose"]) == 0
+        doc = json.loads(out.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "suite.task" in names
+        assert "referee" in names
+        text = capsys.readouterr().out
+        assert "suite.task" in text     # the --verbose footer

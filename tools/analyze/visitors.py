@@ -453,14 +453,26 @@ class Rep005FrozenArtifactMutation(Rule):
 
 
 class Rep006WallClockRead(Rule):
-    """Wall-clock or environment reads inside kernel/cost-model code."""
+    """Wall-clock or environment reads inside kernel/cost-model code.
+
+    Scope note: ``src/repro/obs`` is in scope *on purpose* — its
+    ``clock.py`` is the single sanctioned clock module (two suppressed
+    reads with justifications), so any other ``time.*`` call added to
+    the observability layer, or to kernel code, is flagged.  Kernel
+    and instrumentation code must call
+    ``repro.obs.clock.perf_seconds``/``wall_seconds`` instead of
+    reading ``time`` directly; ``tests/test_analyze.py`` additionally
+    asserts, from the effect summaries, that ``obs/clock.py`` is the
+    only clock reader in ``src/``.
+    """
 
     code = "REP006"
     title = "wall-clock or environment read in kernel code"
     paths = ("src/repro/metrics", "src/repro/eval",
              "src/repro/floorplan", "src/repro/shapecurve",
              "src/repro/slicing", "src/repro/timing",
-             "src/repro/placement", "src/repro/routing")
+             "src/repro/placement", "src/repro/routing",
+             "src/repro/obs")
 
     _BAD_CALL_PREFIXES = ("time.",)
     _BAD_CALLS = {"os.getenv", "datetime.datetime.now",

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Print the top-N spans from a trace artifact.
+
+Accepts both trace formats the repo's sinks write:
+
+* Chrome trace-event JSON (``--trace out.json`` / ``TRACE_smoke.json``):
+  duration (``ph: "X"``) events are aggregated by span name;
+* the JSONL event log (``write_jsonl``): ``kind: "span"`` rows ditto.
+
+Usage::
+
+    python tools/trace_summary.py benchmarks/artifacts/TRACE_smoke.json
+    python tools/trace_summary.py trace.json --top 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Iterable, Tuple
+
+# (seconds, count, max_seconds, pids)
+Agg = Dict[str, Tuple[float, int, float, set]]
+
+
+def _spans_from_chrome(doc: dict) -> Iterable[Tuple[str, float, int]]:
+    for event in doc.get("traceEvents", []):
+        if event.get("ph") == "X":
+            yield (event["name"], float(event.get("dur", 0.0)) / 1e6,
+                   event.get("pid", 0))
+
+
+def _spans_from_jsonl(lines: Iterable[str]) -> Iterable[Tuple[str, float, int]]:
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        if row.get("kind") == "span":
+            yield row["name"], float(row.get("seconds", 0.0)), row.get("pid", 0)
+
+
+def load_spans(path: str) -> Iterable[Tuple[str, float, int]]:
+    with open(path) as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return list(_spans_from_jsonl(text.splitlines()))
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return list(_spans_from_chrome(doc))
+    raise SystemExit(f"{path}: not a Chrome trace or repro JSONL trace")
+
+
+def summarize(spans: Iterable[Tuple[str, float, int]]) -> Agg:
+    agg: Agg = {}
+    for name, seconds, pid in spans:
+        total, count, peak, pids = agg.get(name, (0.0, 0, 0.0, set()))
+        pids.add(pid)
+        agg[name] = (total + seconds, count + 1, max(peak, seconds), pids)
+    return agg
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace JSON or JSONL path")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows to print (default 15)")
+    args = parser.parse_args(argv)
+
+    agg = summarize(load_spans(args.trace))
+    if not agg:
+        print(f"{args.trace}: no spans")
+        return 1
+    print(f"{'total s':>9} {'count':>6} {'max s':>9} {'procs':>5}  span")
+    ranked = sorted(agg.items(), key=lambda kv: -kv[1][0])
+    for name, (total, count, peak, pids) in ranked[:args.top]:
+        print(f"{total:9.3f} {count:6d} {peak:9.3f} {len(pids):5d}  {name}")
+    if len(ranked) > args.top:
+        print(f"... {len(ranked) - args.top} more span name(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
