@@ -2,7 +2,7 @@
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-benchmarks lint analyze smoke-api smoke-trace \
-	bench-suite bench-anneal bench-referee check flows
+	smoke-service bench-suite bench-anneal bench-referee check flows
 
 # Tier-1 verification: the full unit-test suite.
 test:
@@ -42,6 +42,7 @@ check:
 	python -m pytest -x -q tests
 	$(MAKE) smoke-api
 	$(MAKE) smoke-trace
+	$(MAKE) smoke-service
 	$(MAKE) bench-referee
 
 # Fast smoke of the unified repro.api surface (registry, pipeline,
@@ -60,8 +61,16 @@ smoke-trace:
 	python tools/trace_summary.py \
 	    benchmarks/artifacts/TRACE_smoke.json --top 12
 
-# Serial-vs-parallel suite wall-clock; writes
-# benchmarks/artifacts/BENCH_suite.json.
+# Placement-service smoke: cold 2-worker suite against a fresh
+# compiled-design store, then a traced warm run asserting zero
+# worker-side prepare.* spans (workers attach shared memory instead),
+# then a PlacementService submit/poll round-trip asserting
+# bit-identical rows.
+smoke-service:
+	python tools/smoke_service.py
+
+# Serial-vs-parallel-vs-store suite wall-clock (cold and warm store
+# phases); writes benchmarks/artifacts/BENCH_suite.json.
 bench-suite:
 	python benchmarks/bench_suite_runtime.py
 

@@ -43,7 +43,7 @@ from scipy.sparse.linalg import cg
 from repro.api.prepared import prepare_suite_design
 from repro.api import get_flow
 from repro.core.ports import assign_port_positions
-from repro.eval.flow import evaluate_placement
+from repro.api import evaluate_placement
 from repro.metrics import (
     get_backend,
     net_arrays_for,

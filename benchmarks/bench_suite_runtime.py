@@ -1,10 +1,18 @@
 #!/usr/bin/env python
-"""Suite-runtime benchmark: serial vs parallel ``run_suite``.
+"""Suite-runtime benchmark: serial vs parallel vs compiled-design store.
 
-Runs the comparison suite twice — serially and with ``--workers N`` —
-verifies the rows are identical, and writes wall-clock numbers to
+Runs the comparison suite four ways — serial, parallel without a
+store (every worker recompiles: the legacy baseline), parallel against
+a cold :class:`repro.service.CompiledDesignStore` (compile + persist),
+and parallel against the now-warm store (memory-mapped load +
+shared-memory handoff, zero compile work in workers) — verifies all
+four produce bit-identical rows, and writes wall-clock numbers to
 ``benchmarks/artifacts/BENCH_suite.json`` so future PRs have a
 performance trajectory to compare against.
+
+Row identity across all four phases is the hard gate; the warm-store
+speedup target (warm parallel >= 1.0x of serial) is a soft gate that
+warns on loaded/single-core runners.
 
 Not collected by pytest (the file is not ``test_*``); run directly:
 
@@ -19,9 +27,16 @@ import argparse
 import json
 import os
 import platform
+import shutil
+import tempfile
 import time
 
-from repro.api import DEFAULT_FLOWS, run_suite, split_flow_specs
+from repro.api import (
+    DEFAULT_FLOWS,
+    RunOptions,
+    run_suite,
+    split_flow_specs,
+)
 from repro.core.config import Effort
 
 
@@ -41,7 +56,7 @@ def main() -> int:
     parser.add_argument("--effort", default="fast",
                         choices=("fast", "normal", "high"))
     parser.add_argument("--workers", type=int,
-                        default=min(4, os.cpu_count() or 1))
+                        default=max(2, min(4, os.cpu_count() or 1)))
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--out", default=None,
                         help="output JSON path (default: "
@@ -51,24 +66,37 @@ def main() -> int:
     designs = (None if args.designs == "all"
                else args.designs.split(","))
     flows = tuple(split_flow_specs(args.flows))
-    effort = Effort(args.effort)
+    options = RunOptions(seed=args.seed, effort=Effort(args.effort))
 
     common = dict(scale=args.scale, designs=designs, flows=flows,
-                  seed=args.seed, effort=effort)
+                  options=options)
+    store_dir = tempfile.mkdtemp(prefix="hidap-bench-store-")
+    phases = {}
+    results = {}
 
-    print(f"serial run: scale={args.scale} designs={args.designs} "
-          f"flows={','.join(flows)} effort={args.effort}")
-    t0 = time.perf_counter()
-    serial = run_suite(**common)
-    serial_seconds = time.perf_counter() - t0
+    def timed(label, **kwargs):
+        print(f"{label} run: scale={args.scale} "
+              f"designs={args.designs} flows={','.join(flows)} "
+              f"effort={args.effort}")
+        t0 = time.perf_counter()
+        results[label] = run_suite(**common, **kwargs)
+        phases[label] = time.perf_counter() - t0
 
-    print(f"parallel run: workers={args.workers}")
-    t0 = time.perf_counter()
-    parallel = run_suite(workers=args.workers, **common)
-    parallel_seconds = time.perf_counter() - t0
+    try:
+        timed("serial")
+        timed("parallel", workers=args.workers)
+        timed("cold_store", workers=args.workers, store=store_dir)
+        timed("warm_store", workers=args.workers, store=store_dir)
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
 
-    identical = _rows_key(serial) == _rows_key(parallel)
-    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    baseline = _rows_key(results["serial"])
+    identical = all(_rows_key(results[p]) == baseline
+                    for p in ("parallel", "cold_store", "warm_store"))
+    speedup = (phases["serial"] / phases["parallel"]
+               if phases["parallel"] else 0.0)
+    warm_speedup = (phases["serial"] / phases["warm_store"]
+                    if phases["warm_store"] else 0.0)
 
     record = {
         "bench": "suite_runtime",
@@ -80,10 +108,13 @@ def main() -> int:
         "workers": args.workers,
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
-        "serial_seconds": round(serial_seconds, 3),
-        "parallel_seconds": round(parallel_seconds, 3),
+        "serial_seconds": round(phases["serial"], 3),
+        "parallel_seconds": round(phases["parallel"], 3),
+        "cold_store_seconds": round(phases["cold_store"], 3),
+        "warm_store_seconds": round(phases["warm_store"], 3),
         "speedup": round(speedup, 3),
-        "rows": len(serial.rows),
+        "warm_store_speedup": round(warm_speedup, 3),
+        "rows": len(results["serial"].rows),
         "rows_identical": identical,
     }
 
@@ -92,10 +123,18 @@ def main() -> int:
     os.makedirs(os.path.dirname(out), exist_ok=True)
     with open(out, "w") as handle:
         json.dump(record, handle, indent=1)
-    print(f"\nserial   {serial_seconds:7.1f}s")
-    print(f"parallel {parallel_seconds:7.1f}s  (x{speedup:.2f} with "
-          f"{args.workers} workers)")
+    print(f"\nserial      {phases['serial']:7.1f}s")
+    print(f"parallel    {phases['parallel']:7.1f}s  (x{speedup:.2f} "
+          f"with {args.workers} workers, no store)")
+    print(f"cold store  {phases['cold_store']:7.1f}s  "
+          f"(compile + persist)")
+    print(f"warm store  {phases['warm_store']:7.1f}s  "
+          f"(x{warm_speedup:.2f} vs serial)")
     print(f"rows identical: {identical}")
+    if warm_speedup < 1.0:
+        print(f"WARNING: warm-store parallel slower than serial "
+              f"(x{warm_speedup:.2f}; soft gate — expected on "
+              f"loaded/single-core runners)")
     print(f"wrote {out}")
     return 0 if identical else 1
 

@@ -18,7 +18,7 @@ import os
 import pytest
 
 from repro.core.config import Effort
-from repro.eval.suite import run_suite
+from repro.api import run_suite
 
 SCALE = os.environ.get("REPRO_SCALE", "tiny")
 EFFORT = Effort(os.environ.get("REPRO_EFFORT", "fast"))

@@ -11,8 +11,7 @@ talk across the hierarchy.
 
 from benchmarks.conftest import EFFORT, SCALE, SEED, pedantic
 from repro.core import HiDaP, HiDaPConfig
-from repro.eval.flow import evaluate_placement
-from repro.eval.suite import prepare_design
+from repro.api import evaluate_placement, prepare_design
 from repro.gen.designs import suite_specs
 
 CIRCUITS = ("c1", "c5")
@@ -25,7 +24,9 @@ def test_ablation_affinity_source(benchmark):
         for name in CIRCUITS:
             spec = next(s for s in suite_specs(SCALE)
                         if s.name == name)
-            flat, _truth, die_w, die_h = prepare_design(spec)
+            prepared = prepare_design(spec)
+            flat, _truth, die_w, die_h = (prepared.flat, prepared.truth,
+                                          prepared.die_w, prepared.die_h)
             for mode in ("dataflow", "pseudonet"):
                 config = HiDaPConfig(seed=SEED, affinity_mode=mode,
                                      effort=EFFORT)

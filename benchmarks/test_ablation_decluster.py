@@ -9,8 +9,7 @@ floods the level with small soft blocks; a huge one starves it.
 from benchmarks.conftest import EFFORT, SCALE, SEED, pedantic
 from repro.core import HiDaP, HiDaPConfig
 from repro.core.decluster import decluster
-from repro.eval.flow import evaluate_placement
-from repro.eval.suite import prepare_design
+from repro.api import evaluate_placement, prepare_design
 from repro.gen.designs import suite_specs
 from repro.hiergraph.hierarchy import build_hierarchy
 
@@ -39,7 +38,9 @@ def _cut_sizes(tree, flat, min_frac, open_frac):
 
 def test_ablation_decluster_thresholds(benchmark):
     spec = next(s for s in suite_specs(SCALE) if s.name == "c2")
-    flat, _truth, die_w, die_h = prepare_design(spec)
+    prepared = prepare_design(spec)
+    flat, _truth, die_w, die_h = (prepared.flat, prepared.truth,
+                                  prepared.die_w, prepared.die_h)
     tree = build_hierarchy(flat)
 
     results = {}

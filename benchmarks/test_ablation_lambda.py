@@ -8,8 +8,7 @@ margin, and no single λ dominates by construction).
 """
 
 from benchmarks.conftest import EFFORT, SCALE, SEED, pedantic
-from repro.eval.flow import run_flow
-from repro.eval.suite import prepare_design
+from repro.api import prepare_design, run_flow
 from repro.gen.designs import suite_specs
 
 LAMBDAS = (0.2, 0.5, 0.8)
@@ -22,7 +21,9 @@ def test_ablation_lambda_sweep(benchmark):
     def sweep():
         for name in CIRCUITS:
             spec = next(s for s in suite_specs(SCALE) if s.name == name)
-            flat, truth, die_w, die_h = prepare_design(spec)
+            prepared = prepare_design(spec)
+            flat, truth, die_w, die_h = (prepared.flat, prepared.truth,
+                                          prepared.die_w, prepared.die_h)
             for lam in LAMBDAS:
                 metrics = run_flow(flat, truth, f"hidap-l{lam}", die_w,
                                    die_h, seed=SEED, effort=EFFORT)

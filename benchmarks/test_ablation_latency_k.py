@@ -8,8 +8,7 @@ wire, large k sees only next-cycle neighbours.
 
 from benchmarks.conftest import EFFORT, SCALE, SEED, pedantic
 from repro.core import HiDaP, HiDaPConfig
-from repro.eval.flow import evaluate_placement
-from repro.eval.suite import prepare_design
+from repro.api import evaluate_placement, prepare_design
 from repro.gen.designs import suite_specs
 
 KS = (0.0, 1.0, 2.0)
@@ -17,7 +16,9 @@ KS = (0.0, 1.0, 2.0)
 
 def test_ablation_latency_exponent(benchmark):
     spec = next(s for s in suite_specs(SCALE) if s.name == "c1")
-    flat, _truth, die_w, die_h = prepare_design(spec)
+    prepared = prepare_design(spec)
+    flat, _truth, die_w, die_h = (prepared.flat, prepared.truth,
+                                  prepared.die_w, prepared.die_h)
 
     results = {}
 

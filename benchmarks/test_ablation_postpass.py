@@ -8,8 +8,7 @@ is purely pin-orientation, and flipping must never hurt.
 
 from benchmarks.conftest import EFFORT, SCALE, SEED, pedantic
 from repro.core import HiDaP, HiDaPConfig
-from repro.eval.flow import evaluate_placement
-from repro.eval.suite import prepare_design
+from repro.api import evaluate_placement, prepare_design
 from repro.gen.designs import suite_specs
 
 CIRCUITS = ("c1", "c8")
@@ -22,7 +21,9 @@ def test_ablation_flipping(benchmark):
         for name in CIRCUITS:
             spec = next(s for s in suite_specs(SCALE)
                         if s.name == name)
-            flat, _truth, die_w, die_h = prepare_design(spec)
+            prepared = prepare_design(spec)
+            flat, _truth, die_w, die_h = (prepared.flat, prepared.truth,
+                                          prepared.die_w, prepared.die_h)
             for flipping in (False, True):
                 config = HiDaPConfig(seed=SEED, flipping=flipping,
                                      effort=EFFORT)

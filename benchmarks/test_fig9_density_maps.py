@@ -19,7 +19,7 @@ from repro.core import HiDaP, HiDaPConfig
 from repro.core.dataflow import infer_affinity
 from repro.core.decluster import decluster
 from repro.core.ports import assign_port_positions
-from repro.eval.suite import prepare_design
+from repro.api import prepare_design
 from repro.gen.designs import suite_specs
 from repro.geometry.rect import Rect
 from repro.hiergraph.hierarchy import build_hierarchy
@@ -54,7 +54,9 @@ def _near_macro_peak(raster: np.ndarray, macro_rects, die,
 
 def test_fig9_density_maps(benchmark, artifacts_dir):
     spec = next(s for s in suite_specs(SCALE) if s.name == "c3")
-    flat, truth, die_w, die_h = prepare_design(spec)
+    prepared = prepare_design(spec)
+    flat, truth, die_w, die_h = (prepared.flat, prepared.truth,
+                                  prepared.die_w, prepared.die_h)
     ports = assign_port_positions(flat.design,
                                   Rect(0, 0, die_w, die_h))
 

@@ -12,7 +12,7 @@ few percent of handFP, runtimes ordered IndEDA < HiDaP << handFP.
 """
 
 from benchmarks.conftest import pedantic
-from repro.eval.tables import format_table2, geomean
+from repro.api import format_table2, geomean
 
 PAPER = {"indeda": 1.143, "hidap": 1.013, "handfp": 1.000}
 

@@ -12,9 +12,7 @@ WNS as % of the clock period and TNS.  Key shapes we check:
 """
 
 from benchmarks.conftest import SCALE, SEED, EFFORT, pedantic
-from repro.eval.flow import run_flow
-from repro.eval.suite import prepare_design
-from repro.eval.tables import format_table3
+from repro.api import format_table3, prepare_design, run_flow
 from repro.gen.designs import suite_specs
 
 PAPER_NORM_WL = {
@@ -37,7 +35,9 @@ def test_table3_detail(suite_result, benchmark):
     # would dominate; we re-run the cheapest full flow end to end).
     def regenerate_one_row():
         spec = suite_specs(SCALE)[0]
-        flat, truth, die_w, die_h = prepare_design(spec)
+        prepared = prepare_design(spec)
+        flat, truth, die_w, die_h = (prepared.flat, prepared.truth,
+                                      prepared.die_w, prepared.die_h)
         return run_flow(flat, truth, "indeda", die_w, die_h, seed=SEED,
                         effort=EFFORT)
 

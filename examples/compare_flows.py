@@ -15,9 +15,12 @@ Run:  python examples/compare_flows.py [circuit] [scale]
 
 import sys
 
-from repro.api import get_flow, prepare_suite_design
-from repro.core.config import Effort
-from repro.eval.tables import normalize_to_handfp
+from repro.api import (
+    Effort,
+    get_flow,
+    normalize_to_handfp,
+    prepare_suite_design,
+)
 
 
 def main() -> None:

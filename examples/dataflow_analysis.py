@@ -15,8 +15,7 @@ Run:  python examples/dataflow_analysis.py [circuit]
 
 import sys
 
-from repro.api import get_flow, prepare_suite_design
-from repro.core.config import Effort
+from repro.api import Effort, get_flow, prepare_suite_design
 from repro.core.dataflow import infer_affinity
 from repro.core.decluster import decluster
 from repro.viz.ascii_art import ascii_histogram

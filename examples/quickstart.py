@@ -7,7 +7,7 @@ once, resolve a flow from the registry, place.
 Run:  python examples/quickstart.py
 """
 
-from repro import get_flow, prepare_suite_design
+from repro.api import get_flow, prepare_suite_design
 from repro.viz.ascii_art import ascii_floorplan
 from repro.viz.svg import svg_floorplan
 

@@ -10,8 +10,8 @@ parsed design in a ``PreparedDesign`` and hand it to any flow.
 Run:  python examples/verilog_roundtrip.py
 """
 
-from repro import PreparedDesign, build_design, die_for, get_flow, suite_specs
-from repro.core.config import Effort
+from repro import build_design, die_for, suite_specs
+from repro.api import Effort, PreparedDesign, get_flow
 from repro.netlist.stats import design_stats
 from repro.netlist.verilog import design_to_verilog, parse_verilog
 

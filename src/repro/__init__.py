@@ -26,6 +26,18 @@ Run a whole comparison suite in parallel and print the paper's tables:
 >>> result = run_suite(scale="tiny", workers=4)   # doctest: +SKIP
 >>> print(format_table2(result.rows))             # doctest: +SKIP
 
+Or run placement as a service: compiled designs persist in an on-disk
+store (``store=DIR`` also works on ``run_suite``), pool workers attach
+them through shared memory instead of recompiling, and jobs go through
+a submit/poll API:
+
+>>> from repro.api import PlacementService, RunOptions
+>>> with PlacementService(scale="tiny", designs=("c1",),
+...                       store="/tmp/hidap-store", workers=2,
+...                       options=RunOptions(seed=1)) as service:
+...     handle = service.submit("c1", "hidap")
+...     row = handle.result()                     # doctest: +SKIP
+
 Or drop to the classic object API:
 
 >>> from repro import HiDaP, HiDaPConfig, build_design, suite_specs
@@ -49,10 +61,10 @@ from repro.api import (
     register_flow,
     run_suite,
 )
+from repro.api.run import FlowMetrics, RunOptions, run_flow
 from repro.core.config import Effort, HiDaPConfig
 from repro.core.hidap import HiDaP
 from repro.core.result import MacroPlacement, PlacedMacro
-from repro.eval.flow import FlowMetrics, run_flow
 from repro.eval.tables import format_table2, format_table3
 from repro.gen.designs import build_design, die_for, suite_specs
 from repro.geometry.rect import Point, Rect
@@ -76,6 +88,7 @@ __all__ = [
     "PreparedDesign",
     "Rect",
     "RunArtifacts",
+    "RunOptions",
     "Stage",
     "__version__",
     "available_flows",

@@ -1,4 +1,4 @@
-"""The unified placement API: registry, pipeline, artifacts, suite.
+"""The unified placement API: registry, pipeline, runs, suite, service.
 
 This package is the single front door for every placement run:
 
@@ -14,8 +14,20 @@ This package is the single front door for every placement run:
 * **prepared designs** — :class:`PreparedDesign` caches
   ``flat``/``gnet``/``gseq`` so they are built once per design instead
   of once per consumer.
+* **single runs** — :func:`run_flow` / :func:`evaluate_placement`, with
+  every knob carried by one :class:`RunOptions` record shared by all
+  entry points.
 * **parallel suite** — :func:`run_suite` fans (design, flow) pairs over
-  worker processes with ``workers=N``, row-for-row identical to serial.
+  worker processes with ``workers=N``, row-for-row identical to serial;
+  ``store=DIR`` persists compiled designs so repeated runs skip every
+  compile.
+* **placement service** — :class:`PlacementService` (from
+  :mod:`repro.service`, re-exported here) is the submit/poll/stream job
+  front end over the same engine, with a
+  :class:`CompiledDesignStore` and shared-memory array handoff.
+* **tables** — :func:`format_table2` / :func:`format_table3` /
+  :func:`normalize_to_handfp` / :func:`geomean` turn rows into the
+  paper's tables.
 
 Extending with your own flow::
 
@@ -55,6 +67,14 @@ from repro.api.pipeline import (
     Stage,
     build_hidap_pipeline,
 )
+from repro.api.run import (
+    HIDAP_LAMBDAS,
+    FlowMetrics,
+    RunOptions,
+    evaluate_placement,
+    run_flow,
+)
+from repro.core.config import Effort
 from repro.api.suite import DEFAULT_FLOWS, SuiteResult, run_suite
 from repro.api.flows import (  # noqa: E402  (must follow suite: registers builtins)
     BaseFlow,
@@ -65,11 +85,32 @@ from repro.api.flows import (  # noqa: E402  (must follow suite: registers built
     IndEDAFlow,
     register_builtin_flows,
 )
+from repro.eval.tables import (
+    format_table2,
+    format_table3,
+    geomean,
+    normalize_to_handfp,
+)
+
+#: Service-layer names resolved lazily (PEP 562) so ``import repro.api``
+#: does not pull in multiprocessing/shared-memory machinery until a
+#: client actually reaches for the service.
+_SERVICE_EXPORTS = (
+    "CompiledDesignStore",
+    "JobEvent",
+    "JobHandle",
+    "JobStatus",
+    "PlacementService",
+    "store_version",
+)
 
 __all__ = [
     "BaseFlow",
     "DEFAULT_FLOWS",
+    "Effort",
     "FlowError",
+    "FlowMetrics",
+    "HIDAP_LAMBDAS",
     "HIDAP_STAGES",
     "HandFPFlow",
     "HandFPStripFlow",
@@ -81,19 +122,40 @@ __all__ = [
     "Placer",
     "PreparedDesign",
     "RunArtifacts",
+    "RunOptions",
     "Stage",
     "SuiteResult",
     "UnknownFlowError",
     "available_flows",
     "build_hidap_pipeline",
+    "evaluate_placement",
     "flow_descriptions",
+    "format_table2",
+    "format_table3",
+    "geomean",
     "get_flow",
+    "normalize_to_handfp",
     "parse_flow_spec",
     "prepare_design",
     "prepare_suite_design",
     "register_builtin_flows",
     "register_flow",
+    "run_flow",
     "run_suite",
     "split_flow_specs",
     "unregister_flow",
+    *_SERVICE_EXPORTS,
 ]
+
+
+def __getattr__(name):
+    if name in _SERVICE_EXPORTS:
+        import repro.service as _service
+
+        return getattr(_service, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

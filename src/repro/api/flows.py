@@ -22,7 +22,7 @@ from repro.api.registry import FlowError, register_flow
 from repro.core.config import Effort, HiDaPConfig
 from repro.core.hidap import HiDaP
 from repro.core.result import MacroPlacement
-from repro.eval.flow import HIDAP_LAMBDAS, FlowMetrics, evaluate_placement
+from repro.api.run import HIDAP_LAMBDAS, FlowMetrics, evaluate_placement
 from repro.timing.sta import default_clock_period
 
 
@@ -47,7 +47,7 @@ class BaseFlow:
 
     ``referee_backend`` names the referee kernel implementation
     (``None`` → the :mod:`repro.metrics` registry default); it reaches
-    every stage of :func:`~repro.eval.flow.evaluate_placement` — the
+    every stage of :func:`~repro.api.run.evaluate_placement` — the
     quadratic stdcell system, HPWL, congestion and the timing analysis
     — and, for HiDaP flows, the layout cost model.  The referee records
     its backend and per-metric timings (``referee_{stdcell,locate,hpwl,

@@ -101,12 +101,12 @@ class PreparedDesign:
         The compile cache lives on the flat design itself
         (:func:`repro.metrics.net_arrays_for`), so every flow,
         baseline and suite worker evaluating this prepared design
-        shares one :class:`~repro.metrics.netarrays.NetArrays`.
+        shares one :class:`~repro.metrics.netarrays.NetArrays`.  The
+        ``prepare.net_arrays`` span fires inside the compile path, only
+        on a cache miss.
         """
         from repro.metrics import net_arrays_for
-        with current_tracer().span("prepare.net_arrays",
-                                   design=self.design.name):
-            return net_arrays_for(self.flat)
+        return net_arrays_for(self.flat)
 
     @property
     def stdcell_arrays(self):
@@ -116,13 +116,12 @@ class PreparedDesign:
         :class:`~repro.metrics.stdcell_kernel.StdcellArrays` both cache
         on the flat design (:func:`repro.placement.cluster.clustered_for`
         / :func:`repro.metrics.stdcell_arrays_for`), shared like
-        :attr:`net_arrays`.
+        :attr:`net_arrays`.  ``prepare.stdcell_arrays`` fires only on a
+        compile miss.
         """
         from repro.metrics import stdcell_arrays_for
         from repro.placement.cluster import clustered_for
-        with current_tracer().span("prepare.stdcell_arrays",
-                                   design=self.design.name):
-            return stdcell_arrays_for(clustered_for(self.flat))
+        return stdcell_arrays_for(clustered_for(self.flat))
 
     @property
     def timing_arrays(self):
@@ -131,11 +130,10 @@ class PreparedDesign:
         Cached on the design's :attr:`gseq`
         (:func:`repro.metrics.timing_arrays_for`); flows that rebuild a
         differently-thresholded graph compile their own.
+        ``prepare.timing_arrays`` fires only on a compile miss.
         """
         from repro.metrics import timing_arrays_for
-        with current_tracer().span("prepare.timing_arrays",
-                                   design=self.design.name):
-            return timing_arrays_for(self.gseq, self.flat)
+        return timing_arrays_for(self.gseq, self.flat)
 
     def info(self) -> str:
         """The suite table's design summary line."""

@@ -50,7 +50,7 @@ class Placer(Protocol):
 
     ``place`` produces the macro placement; ``evaluate`` additionally
     runs the shared referee and returns a
-    :class:`repro.eval.flow.FlowMetrics` row.  Flows that pick among
+    :class:`repro.api.run.FlowMetrics` row.  Flows that pick among
     candidate placements by referee score (best-of-three protocols)
     implement the selection inside these methods.
     """
@@ -96,7 +96,8 @@ def register_flow(name: str, factory: FlowFactory, *,
     if name in _REGISTRY and not overwrite:
         raise FlowError(f"flow {name!r} already registered "
                         "(pass overwrite=True to replace)")
-    _REGISTRY[name] = _Entry(factory, description)
+    _REGISTRY[name] = _Entry(  # repro: noqa[REP009] worker-init replay
+        factory, description)
 
 
 def unregister_flow(name: str) -> None:

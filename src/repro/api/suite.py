@@ -1,28 +1,29 @@
 """Suite runner: the c1..c8 comparison behind Tables II and III.
 
-``run_suite`` fans every (design, flow) pair over a process pool when
-``workers`` > 1; each worker process prepares a design once (cached)
-and every flow on that design shares the prepared artifacts.  Rows are
-returned in deterministic serial order — design order of
-``suite_specs``, then flow order — so a parallel run is row-for-row
+``run_suite`` is a thin client of the placement service layer
+(:mod:`repro.service`): serial runs execute cells inline through
+:func:`repro.service.engine.execute_cell`; ``workers=N`` runs submit
+every (design, flow) pair to a :class:`repro.service.PlacementService`
+pool.  Rows are returned in deterministic serial order — design order
+of ``suite_specs``, then flow order — so a parallel run is row-for-row
 identical to a serial one.
+
+``store=`` names a :class:`repro.service.CompiledDesignStore` (or a
+directory for one): designs are then compiled at most once, ever — a
+warm store skips every ``prepare.*`` compile, and pooled workers
+attach the compiled arrays through shared memory instead of
+rebuilding.  Without a store the legacy behaviour is preserved
+exactly: every worker process rebuilds and recompiles per process.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
-from repro.api.prepared import (
-    PreparedDesign,
-    prepare_design,
-    prepare_suite_design,
-)
-from repro.api.registry import get_flow, parse_flow_spec
-from repro.core.config import Effort
+from repro.api.prepared import prepare_design
+from repro.api.run import RunOptions, TraceSpec, resolve_options
 from repro.gen.designs import suite_specs
 from repro.obs import (
     NULL_TRACER,
@@ -31,9 +32,11 @@ from repro.obs import (
     use_tracer,
     write_chrome_trace,
 )
+from repro.service import engine
 
-if TYPE_CHECKING:  # pragma: no cover - avoids an eval<->api cycle
-    from repro.eval.flow import FlowMetrics
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.run import FlowMetrics
+    from repro.service.store import CompiledDesignStore
 
 DEFAULT_FLOWS = ("indeda", "hidap-best3", "handfp")
 
@@ -54,184 +57,71 @@ class SuiteResult:
         return [r for r in self.rows if r.design == design]
 
 
-#: Per-process prepared-design cache (populated inside pool workers so
-#: every flow scheduled on the same worker reuses flat/gnet/gseq).
-_PREPARED_CACHE: Dict[Tuple[str, str], PreparedDesign] = {}
+# Compatibility aliases: the worker plumbing moved to
+# repro.service.engine (shared with PlacementService); these names stay
+# importable here for existing callers and tests.
+_PREPARED_CACHE = engine._PREPARED_CACHE
+_portable_flow_entries = engine.portable_flow_entries
+_portable_backend_entries = engine.portable_backend_entries
+_init_suite_worker = engine.init_worker
+_suite_task = engine.run_cell
 
 
-def _portable_flow_entries():
-    """Registry entries beyond the builtins, for shipping to workers.
+def _resolve_store(store) -> Optional["CompiledDesignStore"]:
+    if store is None:
+        return None
+    from repro.service.store import CompiledDesignStore
 
-    Under spawn/forkserver start methods a worker re-imports
-    ``repro.api`` and only sees the builtin flows; third-party
-    registrations must be replayed.  Entries whose factories cannot be
-    pickled (lambdas, closures) are skipped — they still work under
-    fork, where workers inherit the registry.
-    """
-    import pickle
-
-    from repro.api.flows import BUILTIN_FLOW_NAMES
-    from repro.api.registry import _REGISTRY
-
-    entries = []
-    for name, entry in _REGISTRY.items():
-        # Skip entries the worker's own `import repro.api` recreates:
-        # a builtin name still bound to a builtin factory.  A builtin
-        # class registered under a custom name (or a builtin name
-        # overwritten with a custom factory) must be replayed.
-        is_builtin = (
-            name in BUILTIN_FLOW_NAMES
-            and getattr(entry.factory, "__module__", None)
-            == "repro.api.flows")
-        if is_builtin:
-            continue
-        item = (name, entry.factory, entry.description)
-        try:
-            pickle.dumps(item)
-        except Exception:
-            continue
-        entries.append(item)
-    return entries
-
-
-def _portable_backend_entries():
-    """Third-party referee backends + the default name, for workers.
-
-    Like flows, backend registrations live in-process: under
-    spawn/forkserver a worker's ``import repro.metrics`` only recreates
-    the builtin python/numpy backends, so custom backends (and a
-    ``set_default_backend`` override) must be replayed.  Unpicklable
-    backend objects are skipped — they still work under fork.
-    """
-    import pickle
-
-    from repro.metrics import (
-        available_backends,
-        default_backend_name,
-        get_backend,
-    )
-
-    entries = []
-    for name in available_backends():
-        if name in ("python", "numpy"):
-            continue
-        backend = get_backend(name)
-        try:
-            pickle.dumps(backend)
-        except Exception:
-            continue
-        entries.append(backend)
-    # Only replay a default the worker will actually be able to
-    # resolve; an unpicklable custom default degrades to the builtin
-    # default instead of crashing every worker.
-    default = default_backend_name()
-    if default not in {"python", "numpy"} | {b.name for b in entries}:
-        default = None
-    return entries, default
-
-
-def _init_suite_worker(entries, backend_entries=(),
-                       default_backend=None) -> None:
-    """Pool initializer: replay third-party flow/backend registrations."""
-    from repro.api.registry import register_flow
-    from repro.metrics import register_backend, set_default_backend
-
-    for name, factory, description in entries:
-        register_flow(name, factory, description=description,
-                      overwrite=True)
-    for backend in backend_entries:
-        register_backend(backend, overwrite=True)
-    if default_backend is not None:
-        set_default_backend(default_backend)
-
-
-def _prepared_for(scale: str, name: str) -> PreparedDesign:
-    key = (scale, name)
-    prepared = _PREPARED_CACHE.get(key)
-    if prepared is None:
-        prepared = prepare_suite_design(name, scale)
-        # Worker-local memo of the immutable PreparedDesign: filled
-        # once per (scale, name) per process, never read across
-        # processes, and the cached value is frozen — determinism does
-        # not depend on which worker compiled it.
-        _PREPARED_CACHE[key] = prepared  # repro: noqa[REP009] frozen memo
-    return prepared
-
-
-def _run_one(prepared: PreparedDesign, flow: str, seed: int,
-             effort: Effort,
-             referee_backend: Optional[str] = None) -> "FlowMetrics":
-    metrics = get_flow(flow, seed=seed, effort=effort,
-                       referee_backend=referee_backend).evaluate(prepared)
-    # The paper reports every builtin hidap variant simply as "hidap".
-    # Match the parsed registry name, not a spec prefix, so that
-    # third-party flows named e.g. "hidap-mine" keep their own label.
-    name, _params = parse_flow_spec(flow)
-    if name in ("hidap", "hidap-best3"):
-        metrics.flow = "hidap"
-    return metrics
-
-
-def _suite_task(scale: str, design_name: str, flow: str, seed: int,
-                effort_value: str,
-                referee_backend: Optional[str] = None,
-                trace: bool = False
-                ) -> Tuple[str, str, "FlowMetrics", str,
-                           Optional[Dict[str, Any]]]:
-    """One (design, flow) cell, executed inside a pool worker.
-
-    With ``trace`` on, the cell runs under a worker-local tracer and
-    ships its span-tree payload back through the pool's result path —
-    this is how a parallel suite trace shows each worker's own
-    ``prepare.*`` recompilation cost.  One tracer per cell (not per
-    worker) keeps payload transport on the existing result channel
-    with no worker-exit hooks.
-    """
-    if not trace:
-        prepared = _prepared_for(scale, design_name)
-        metrics = _run_one(prepared, flow, seed, Effort(effort_value),
-                           referee_backend)
-        return design_name, flow, metrics, prepared.info(), None
-    tracer = Tracer(f"worker-{os.getpid()}")
-    with use_tracer(tracer):
-        with tracer.span("suite.task", design=design_name, flow=flow):
-            prepared = _prepared_for(scale, design_name)
-            metrics = _run_one(prepared, flow, seed,
-                               Effort(effort_value), referee_backend)
-    return design_name, flow, metrics, prepared.info(), tracer.payload()
+    if isinstance(store, CompiledDesignStore):
+        return store
+    return CompiledDesignStore(store)
 
 
 def run_suite(scale: str = "bench",
               flows: Sequence[str] = DEFAULT_FLOWS,
               designs: Optional[Sequence[str]] = None,
-              seed: int = 1,
-              effort: Effort = Effort.NORMAL,
+              seed: Optional[int] = None,
+              effort=None,
               verbose: bool = False,
               workers: Optional[int] = None,
               referee_backend: Optional[str] = None,
-              trace=None) -> SuiteResult:
+              trace: TraceSpec = None,
+              options: Optional[RunOptions] = None,
+              store=None) -> SuiteResult:
     """Run every flow on every (selected) suite design.
 
     ``workers=None`` (or 1) runs serially in-process; ``workers=N``
-    fans the (design, flow) pairs over ``N`` worker processes.  Both
-    modes produce identical rows in identical order.
-    ``referee_backend`` picks the referee kernels by name for every
-    flow (``None`` → the :mod:`repro.metrics` default); builtin
-    backends are bit-identical, so rows do not depend on the choice.
+    submits the (design, flow) pairs to a
+    :class:`repro.service.PlacementService` pool of ``N`` workers.
+    Both modes produce identical rows in identical order.
 
-    ``trace`` turns on :mod:`repro.obs` span recording for the run and
-    every (design, flow) cell — including cells inside pool workers,
-    whose span trees ride back on the pool's result path.  A path
-    writes a Chrome trace-event file (viewable in Perfetto /
-    ``chrome://tracing``); ``True`` only collects.  Either way the
-    payloads land on ``SuiteResult.trace`` in serial task order, main
-    process first.  Tracing never changes rows (asserted in
-    ``tests/test_obs_determinism.py``).
+    ``options`` carries the run knobs (:class:`RunOptions`: seed,
+    effort, referee backend, trace — see :mod:`repro.api.run` for the
+    one trace semantics shared by every entry point).  The legacy
+    ``seed``/``effort``/``referee_backend``/``trace`` keywords still
+    work but emit a :class:`DeprecationWarning`.
+
+    ``store`` (a directory path or a
+    :class:`repro.service.CompiledDesignStore`) persists compiled
+    designs across runs and processes: cold entries are compiled once
+    in the main process (``store.miss`` + ``store.compile`` spans),
+    warm ones memory-map back (``store.hit``), and pooled workers
+    attach the arrays through shared memory (``store.attach``) with
+    zero ``prepare.*`` compile spans.  Rows are bit-identical with and
+    without a store.
+
+    Tracing records the main process plus every (design, flow) cell —
+    including cells inside pool workers, whose span trees ride back on
+    the pool's result path.  Payloads land on ``SuiteResult.trace`` in
+    serial task order, main process first.  Tracing never changes rows
+    (asserted in ``tests/test_obs_determinism.py``).
     """
     from repro.eval.tables import normalize_to_handfp
 
+    opts = resolve_options(options, seed=seed, effort=effort,
+                           referee_backend=referee_backend, trace=trace)
     start = perf_seconds()
-    tracing = bool(trace)
+    tracing = opts.tracing
     tracer = Tracer("main") if tracing else None
     result = SuiteResult()
     specs = [spec for spec in suite_specs(scale)
@@ -241,41 +131,42 @@ def run_suite(scale: str = "bench",
     payloads: Dict[Tuple[str, str], Dict[str, Any]] = {}
 
     if workers is not None and workers > 1 and len(tasks) > 1:
-        done: Dict[Tuple[str, str], Tuple["FlowMetrics", str]] = {}
-        backend_entries, default_backend = _portable_backend_entries()
-        with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_suite_worker,
-                initargs=(_portable_flow_entries(), backend_entries,
-                          default_backend)) as pool:
-            futures = {
-                pool.submit(_suite_task, scale, name, flow, seed,
-                            effort.value, referee_backend,
-                            tracing): (name, flow)
-                for name, flow in tasks}
-            for future in as_completed(futures):
-                design_name, flow, metrics, info, payload = (
-                    future.result())
-                done[(design_name, flow)] = (metrics, info)
-                if payload is not None:
-                    payloads[(design_name, flow)] = payload
+        from repro.service.jobs import PlacementService, iter_completed
+
+        with use_tracer(tracer) if tracing else nullcontext():
+            with PlacementService(scale=scale,
+                                  designs=[s.name for s in specs],
+                                  store=store, workers=workers,
+                                  options=opts) as service:
+                handles = {(name, flow): service.submit(name, flow)
+                           for name, flow in tasks}
                 if verbose:
-                    print(metrics.row(), flush=True)
-        for name, flow in tasks:                   # serial row order
-            metrics, info = done[(name, flow)]
-            result.design_info.setdefault(name, info)
-            result.rows.append(metrics)
+                    for handle in iter_completed(handles.values()):
+                        print(handle.result().row(), flush=True)
+                for name, flow in tasks:           # serial row order
+                    handle = handles[(name, flow)]
+                    metrics = handle.result()
+                    result.design_info.setdefault(
+                        name, handle.design_info)
+                    result.rows.append(metrics)
+                    if handle.trace_payload is not None:
+                        payloads[(name, flow)] = handle.trace_payload
     else:
+        suite_store = _resolve_store(store)
         with use_tracer(tracer) if tracing else nullcontext():
             active = tracer if tracing else NULL_TRACER
             for spec in specs:
-                prepared = prepare_design(spec)
+                if suite_store is not None:
+                    prepared = suite_store.ensure_spec(
+                        spec).materialize()
+                else:
+                    prepared = prepare_design(spec)
                 result.design_info[spec.name] = prepared.info()
                 for flow in flows:
                     with active.span("suite.task", design=spec.name,
                                      flow=flow):
-                        metrics = _run_one(prepared, flow, seed,
-                                           effort, referee_backend)
+                        metrics = engine.execute_cell(prepared, flow,
+                                                      opts)
                     result.rows.append(metrics)
                     if verbose:
                         print(metrics.row(), flush=True)
@@ -288,6 +179,6 @@ def run_suite(scale: str = "bench",
         tracer.metrics.label("suite.scale", scale)
         result.trace = [tracer.payload()] + [
             payloads[key] for key in tasks if key in payloads]
-        if not isinstance(trace, bool):
-            write_chrome_trace(trace, result.trace)
+        if opts.trace_path is not None:
+            write_chrome_trace(opts.trace_path, result.trace)
     return result

@@ -5,6 +5,8 @@ Subcommands
 ``gen``    generate a suite design to JSON (and optionally Verilog);
 ``place``  place a design's macros with a chosen flow, emit JSON/SVG;
 ``suite``  run the paper's three-flow comparison and print the tables;
+``serve``  run a placement service: JSON job requests on stdin, JSON
+           results on stdout, compiled designs cached in ``--store``;
 ``flows``  list every registered flow (the registry drives dispatch);
 ``info``   print design statistics and graph sizes.
 
@@ -134,16 +136,19 @@ def cmd_place(args: argparse.Namespace) -> int:
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.api import RunOptions
+
     designs = args.designs.split(",") if args.designs else None
     kwargs = {}
+    options = RunOptions(seed=args.seed, effort=Effort(args.effort),
+                         referee_backend=args.referee,
+                         trace=args.trace or bool(args.verbose))
     try:
         if args.flows:
             kwargs["flows"] = tuple(split_flow_specs(args.flows))
         result = run_suite(scale=args.scale, designs=designs,
-                           seed=args.seed, effort=Effort(args.effort),
                            verbose=True, workers=args.workers,
-                           referee_backend=args.referee,
-                           trace=args.trace or args.verbose,
+                           options=options, store=args.store,
                            **kwargs)
     except FlowError as exc:
         return _fail(f"{exc} (see `hidap flows`)")
@@ -158,6 +163,71 @@ def cmd_suite(args: argparse.Namespace) -> int:
         from repro.obs import render_summary
         print()
         print(render_summary(result.trace))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """JSON-lines placement service over stdin/stdout.
+
+    Each input line is a job request
+    ``{"design": "c1", "flow": "hidap", "seed": 1}`` (``flow`` and
+    ``seed`` optional); each output line is an event object —
+    ``ready``, ``queued`` per accepted job, then ``done``/``failed``
+    per job in submission order.  Malformed requests produce an
+    ``error`` event instead of killing the service.
+    """
+    from repro.api import RunOptions
+    from repro.service import PlacementService
+
+    designs = args.designs.split(",") if args.designs else None
+    options = RunOptions(seed=args.seed, effort=Effort(args.effort),
+                         referee_backend=args.referee)
+
+    def emit(payload):
+        print(json.dumps(payload), flush=True)
+
+    try:
+        service = PlacementService(scale=args.scale, designs=designs,
+                                   store=args.store,
+                                   workers=args.workers,
+                                   options=options)
+    except ValueError as exc:
+        return _fail(str(exc))
+    with service:
+        emit({"event": "ready", "scale": args.scale,
+              "designs": list(service.designs),
+              "workers": args.workers or 0,
+              "store": args.store})
+        handles = []
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                handle = service.submit(request["design"],
+                                        request.get("flow", "hidap"),
+                                        seed=request.get("seed"))
+            except (ValueError, KeyError, TypeError) as exc:
+                emit({"event": "error", "error": str(exc)})
+                continue
+            handles.append(handle)
+            emit({"event": "queued", "job": handle.job_id,
+                  "design": handle.design, "flow": handle.flow})
+        for handle in handles:
+            try:
+                row = handle.result()
+                emit({"event": "done", "job": handle.job_id,
+                      "design": row.design, "flow": row.flow,
+                      "wl_meters": row.wl_meters,
+                      "grc_percent": row.grc_percent,
+                      "wns_percent": row.wns_percent,
+                      "tns": row.tns,
+                      "placer_seconds": row.placer_seconds})
+            except Exception as exc:
+                emit({"event": "failed", "job": handle.job_id,
+                      "design": handle.design, "flow": handle.flow,
+                      "error": str(exc)})
     return 0
 
 
@@ -255,9 +325,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="OUT.json",
                    help="record spans (incl. per-worker ones) to a "
                         "Chrome trace-event file")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="persistent compiled-design store: designs "
+                        "compile at most once, ever; warm runs skip "
+                        "every prepare/compile step")
     p.add_argument("--verbose", action="store_true",
                    help="print a per-task timing footer")
     p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser(
+        "serve",
+        help="placement service: JSON jobs stdin -> results stdout")
+    p.add_argument("--scale", default="tiny",
+                   choices=("tiny", "bench", "full"))
+    p.add_argument("--designs", default=None,
+                   help="comma-separated designs to serve "
+                        "(default: all for the scale)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="persistent compiled-design store directory")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker pool size (default: in-process)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--effort", default="fast",
+                   choices=("fast", "normal", "high"))
+    p.add_argument("--referee", default=None,
+                   help="referee backend for every job")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("flows", help="list registered flows")
     p.set_defaults(func=cmd_flows)

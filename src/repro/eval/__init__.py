@@ -7,8 +7,8 @@ package reproduces that pipeline end to end and formats Table II and
 Table III.
 """
 
-from repro.eval.flow import FlowMetrics, evaluate_placement, run_flow
-from repro.eval.suite import SuiteResult, run_suite
+from repro.api.run import FlowMetrics, evaluate_placement, run_flow
+from repro.api.suite import SuiteResult, run_suite
 from repro.eval.tables import format_table2, format_table3, geomean
 
 __all__ = [

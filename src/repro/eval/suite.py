@@ -1,30 +1,46 @@
-"""Suite runner: the c1..c8 comparison behind Tables II and III.
+"""Deprecated shim: the implementation lives in :mod:`repro.api.suite`.
 
-The implementation moved to :mod:`repro.api.suite`, which adds
-parallel execution (``run_suite(workers=N)``) and prepared-design
-caching; this module re-exports it so existing imports keep working.
+``DEFAULT_FLOWS``, ``SuiteResult`` and ``run_suite`` are the same
+objects as the ones exported by :mod:`repro.api`; the legacy
+tuple-returning ``prepare_design`` is kept here for old callers.  All
+of them emit a :class:`DeprecationWarning` — new code should import
+from ``repro.api``.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
-
-from repro.api.prepared import prepare_design as _prepare_design
-from repro.api.suite import DEFAULT_FLOWS, SuiteResult, run_suite
-from repro.gen.spec import DesignSpec, GroundTruth
-from repro.netlist.flatten import FlatDesign
+import warnings
 
 __all__ = ["DEFAULT_FLOWS", "SuiteResult", "prepare_design",
            "run_suite"]
 
 
-def prepare_design(spec: DesignSpec) -> Tuple[FlatDesign, GroundTruth,
-                                              float, float]:
+def _legacy_prepare_design(spec):
     """Build + flatten one suite design and size its die.
 
     Legacy tuple interface; prefer
     :func:`repro.api.prepared.prepare_design`, which returns a caching
     :class:`~repro.api.prepared.PreparedDesign`.
     """
+    from repro.api.prepared import prepare_design as _prepare_design
     prepared = _prepare_design(spec)
-    return prepared.flat, prepared.truth, prepared.die_w, prepared.die_h
+    return (prepared.flat, prepared.truth, prepared.die_w,
+            prepared.die_h)
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        warnings.warn(
+            f"repro.eval.suite.{name} is deprecated; use repro.api "
+            "instead (prepare_design there returns a PreparedDesign)",
+            DeprecationWarning, stacklevel=2)
+        if name == "prepare_design":
+            return _legacy_prepare_design
+        from repro.api import suite as _suite
+        return getattr(_suite, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Sequence
 
-from repro.eval.flow import FlowMetrics
+from repro.api.run import FlowMetrics
 
 
 def geomean(values: Iterable[float]) -> float:

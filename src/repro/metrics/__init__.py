@@ -49,19 +49,28 @@ from repro.metrics.backends import (
 from repro.metrics.netarrays import (
     NetArrays,
     compile_net_arrays,
+    install_net_arrays,
     locate_endpoints,
     net_arrays_for,
+    net_arrays_from_buffers,
+    net_arrays_to_buffers,
 )
 from repro.metrics.numpy_backend import NumpyBackend
 from repro.metrics.stdcell_kernel import (
     StdcellArrays,
     compile_stdcell_arrays,
+    install_stdcell_arrays,
     stdcell_arrays_for,
+    stdcell_arrays_from_buffers,
+    stdcell_arrays_to_buffers,
 )
 from repro.metrics.timing_kernel import (
     TimingArrays,
     compile_timing_arrays,
+    install_timing_arrays,
     timing_arrays_for,
+    timing_arrays_from_buffers,
+    timing_arrays_to_buffers,
 )
 
 register_backend(PythonBackend(), overwrite=True)
@@ -83,12 +92,21 @@ __all__ = [
     "compile_timing_arrays",
     "default_backend_name",
     "get_backend",
+    "install_net_arrays",
+    "install_stdcell_arrays",
+    "install_timing_arrays",
     "locate_endpoints",
     "net_arrays_for",
+    "net_arrays_from_buffers",
+    "net_arrays_to_buffers",
     "register_backend",
     "set_default_backend",
     "stdcell_arrays_for",
+    "stdcell_arrays_from_buffers",
+    "stdcell_arrays_to_buffers",
     "timing_arrays_for",
+    "timing_arrays_from_buffers",
+    "timing_arrays_to_buffers",
     "traced_backend",
     "unregister_backend",
 ]

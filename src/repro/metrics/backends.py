@@ -3,7 +3,7 @@
 A *referee backend* owns the five batched evaluation kernels — the
 quadratic stdcell system assembly, HPWL, congestion, the levelized
 timing analysis and the affinity-pair distance term — behind one small
-interface, so the referee (:func:`repro.eval.flow.evaluate_placement`),
+interface, so the referee (:func:`repro.api.run.evaluate_placement`),
 the layout cost model (:class:`repro.floorplan.cost.CostModel`) and the
 CLI can switch implementations with a name:
 
@@ -276,7 +276,7 @@ def register_backend(backend: RefereeBackend, *,
         raise MetricsBackendError(
             f"referee backend {name!r} already registered "
             "(pass overwrite=True to replace)")
-    _BACKENDS[name] = backend
+    _BACKENDS[name] = backend  # repro: noqa[REP009] worker-init replay
 
 
 def unregister_backend(name: str) -> None:
@@ -308,7 +308,7 @@ def set_default_backend(name: str) -> None:
         raise MetricsBackendError(
             f"unknown referee backend {name!r}; "
             f"available: {', '.join(available_backends())}")
-    _DEFAULT = name
+    _DEFAULT = name  # repro: noqa[REP009] worker-init replay
 
 
 def default_backend_name() -> str:

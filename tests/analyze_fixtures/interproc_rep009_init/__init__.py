@@ -1,0 +1,1 @@
+"""REP009 fixture package: pool initializer writes module state."""

@@ -1,0 +1,7 @@
+"""Worker bootstrap helper that caches into module state."""
+
+_CONFIG = {}
+
+
+def init_worker(jobs):
+    _CONFIG["jobs"] = list(jobs)

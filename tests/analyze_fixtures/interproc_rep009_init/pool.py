@@ -1,0 +1,20 @@
+"""Known-bad: the pool ``initializer=`` reaches a module-state write.
+
+The submitted payload itself is clean; the finding must come from the
+initializer, which runs inside every worker process before any task.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from .bootstrap import init_worker
+
+
+def compute(value):
+    return value * 2
+
+
+def run(jobs):
+    with ProcessPoolExecutor(initializer=init_worker,
+                             initargs=(jobs,)) as pool:
+        futures = [pool.submit(compute, job) for job in jobs]
+        return [future.result() for future in futures]

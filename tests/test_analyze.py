@@ -270,6 +270,18 @@ def test_rep009_fires_through_a_call_edge():
     assert lambdas and lambdas[0].path.endswith("pool.py")
 
 
+def test_rep009_treats_initializer_as_payload():
+    # The submitted task is clean; the pool's ``initializer=`` callable
+    # writes module state one call-graph hop away and must be treated
+    # as a worker payload too.
+    report = analyze_fixture("interproc_rep009_init")
+    assert rules_hit(report) == {"REP009"}
+    finding = report.findings[0]
+    assert finding.path.endswith("bootstrap.py")
+    assert "'init_worker'" in finding.message
+    assert "'_CONFIG'" in finding.message
+
+
 def test_interproc_clean_fixture_is_silent():
     report = analyze_fixture("interproc_clean")
     assert report.ok

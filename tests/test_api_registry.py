@@ -15,7 +15,7 @@ from repro.api import (
 )
 from repro.cli import main
 from repro.core.config import Effort
-from repro.eval.flow import run_flow
+from repro.api import run_flow
 
 
 class TestBuiltins:

@@ -115,7 +115,7 @@ class TestRunFlowGseqCompat:
     def test_foreign_gseq_is_referee_only(self, two_stage_flat):
         """A gseq passed to run_flow must not leak into placement
         (pre-registry behaviour: flows rebuilt their own graphs)."""
-        from repro.eval.flow import run_flow
+        from repro.api import run_flow
         from repro.hiergraph.gnet import build_gnet
         from repro.hiergraph.gseq import build_gseq
 

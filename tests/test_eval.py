@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import Effort
-from repro.eval.flow import FlowMetrics, run_flow
+from repro.api import FlowMetrics, run_flow
 from repro.eval.tables import (
     format_table2,
     format_table3,

@@ -3,7 +3,7 @@
 
 from repro.baselines.indeda import place_indeda
 from repro.core.config import Effort
-from repro.eval.flow import HIDAP_LAMBDAS, evaluate_placement, run_flow
+from repro.api import HIDAP_LAMBDAS, evaluate_placement, run_flow
 
 
 class TestRefereeDeterminism:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.eval.flow import FlowMetrics
+from repro.api import FlowMetrics
 from repro.eval.tables import (
     format_table2,
     format_table3,

@@ -6,9 +6,12 @@ from repro.baselines.handfp import place_handfp
 from repro.baselines.indeda import place_indeda
 from repro.core import HiDaP, HiDaPConfig
 from repro.core.config import Effort
-from repro.eval.flow import evaluate_placement
-from repro.eval.suite import run_suite
-from repro.eval.tables import format_table2, format_table3
+from repro.api import (
+    evaluate_placement,
+    format_table2,
+    format_table3,
+    run_suite,
+)
 
 
 class TestThreeFlowComparison:

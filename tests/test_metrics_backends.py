@@ -4,7 +4,7 @@ import pytest
 
 from repro.api import FlowError, get_flow
 from repro.core.config import HiDaPConfig
-from repro.eval.flow import evaluate_placement
+from repro.api import evaluate_placement
 from repro.metrics import (
     MetricsBackendError,
     PythonBackend,

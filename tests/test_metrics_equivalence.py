@@ -10,7 +10,7 @@ from repro.api import get_flow
 from repro.api.prepared import prepare_suite_design
 from repro.core.ports import assign_port_positions
 from repro.core.result import MacroPlacement, PlacedMacro
-from repro.eval.flow import evaluate_placement
+from repro.api import evaluate_placement
 from repro.floorplan.blocks import Block, Terminal
 from repro.floorplan.cost import CostModel
 from repro.geometry.orientation import Orientation

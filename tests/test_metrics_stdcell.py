@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.ports import assign_port_positions
 from repro.core.result import MacroPlacement, PlacedMacro
-from repro.eval.flow import evaluate_placement
+from repro.api import evaluate_placement
 from repro.geometry.rect import Rect
 from repro.metrics import (
     compile_stdcell_arrays,

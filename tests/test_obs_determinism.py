@@ -10,7 +10,7 @@ import pytest
 
 from repro.api import prepare_suite_design, run_suite
 from repro.core.config import Effort
-from repro.eval.flow import run_flow
+from repro.api import run_flow
 from repro.gen.designs import build_design, die_for, suite_specs
 from repro.netlist.flatten import flatten
 from repro.obs import Tracer, iter_spans, use_tracer

@@ -537,7 +537,14 @@ class _FunctionScanner:
         # ``pool.submit(payload, ...)`` worker entry points.
         if isinstance(func, ast.Attribute) and func.attr == "submit" \
                 and node.args:
-            self._record_submit(node)
+            self._record_payload(node.args[0], node)
+
+        # ``initializer=`` payloads run inside every worker process
+        # before any task — treat them exactly like submitted payloads.
+        for keyword in node.keywords:
+            if keyword.arg == "initializer" \
+                    and keyword.value is not None:
+                self._record_payload(keyword.value, node)
 
         # The call site itself, for graph edges.
         target = self._target_spec(func, modules_map, names_map)
@@ -553,8 +560,8 @@ class _FunctionScanner:
                 site.recv_alias = self.param_alias(func.value)
             self.summary.calls.append(site)
 
-    def _record_submit(self, node: ast.Call) -> None:
-        payload = node.args[0]
+    def _record_payload(self, payload: ast.AST,
+                        node: ast.Call) -> None:
         line, col = node.lineno, node.col_offset
         if isinstance(payload, ast.Lambda):
             self.summary.submits.append(["lambda", "<lambda>", line,

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Placement-service smoke: warm store, 2-worker pool, submit/poll.
+
+End-to-end check of the service layer that ``make check`` runs on
+every build:
+
+1. a cold 2-worker ``run_suite`` against a fresh compiled-design
+   store (compiles + persists every design in the main process);
+2. a second, traced 2-worker run against the now-warm store —
+   asserting the workers record **zero** ``prepare.*`` compile spans
+   (they attach shared memory instead) and the main process saw only
+   store hits;
+3. a ``PlacementService`` submit/poll round-trip over the same store,
+   asserting the job lifecycle (queued → done) and that the rows are
+   bit-identical to the suite's.
+
+Exits non-zero with a named assertion on any violation.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.api import (
+    PlacementService,
+    RunOptions,
+    normalize_to_handfp,
+    run_suite,
+)
+from repro.core.config import Effort
+from repro.obs import iter_spans
+from repro.service import JobStatus
+
+DESIGNS = ("c1", "c2")
+FLOWS = ("indeda", "handfp-strip")
+
+
+def _key_rows(rows):
+    return [(r.design, r.flow, r.wl_meters, r.grc_percent,
+             r.wns_percent, r.tns, r.wl_norm) for r in rows]
+
+
+def main() -> int:
+    opts = RunOptions(seed=1, effort=Effort.FAST)
+    trace_opts = RunOptions(seed=1, effort=Effort.FAST, trace=True)
+    with tempfile.TemporaryDirectory(prefix="hidap-smoke-store-") \
+            as store_dir:
+        print(f"cold 2-worker suite (populating store {store_dir})")
+        cold = run_suite(scale="tiny", designs=list(DESIGNS),
+                         flows=FLOWS, options=opts, workers=2,
+                         store=store_dir)
+
+        print("warm 2-worker suite (traced)")
+        warm = run_suite(scale="tiny", designs=list(DESIGNS),
+                         flows=FLOWS, options=trace_opts, workers=2,
+                         store=store_dir)
+        assert _key_rows(warm.rows) == _key_rows(cold.rows), \
+            "warm-store rows differ from cold-store rows"
+
+        worker_names = {span["name"]
+                        for payload in warm.trace[1:]
+                        for _depth, span in iter_spans(payload)}
+        compile_spans = sorted(n for n in worker_names
+                               if n.startswith("prepare."))
+        assert not compile_spans, (
+            f"warm-store workers must compile nothing, saw "
+            f"{compile_spans}")
+        assert "store.attach" in worker_names, \
+            "warm-store workers must attach shared memory"
+        main_names = {span["name"]
+                      for _depth, span in iter_spans(warm.trace[0])}
+        assert "store.hit" in main_names, \
+            "warm run must hit the store"
+        assert "store.miss" not in main_names, \
+            "warm run must not miss the store"
+        print(f"  workers attached shm; zero prepare.* spans "
+              f"({len(worker_names)} distinct worker span names)")
+
+        print("submit/poll round-trip via PlacementService")
+        with PlacementService(scale="tiny", designs=DESIGNS,
+                              store=store_dir, workers=2,
+                              options=opts) as service:
+            handles = [service.submit(design, flow)
+                       for design in DESIGNS for flow in FLOWS]
+            rows = [handle.result() for handle in handles]
+            for handle in handles:
+                assert handle.poll() is JobStatus.DONE, \
+                    f"{handle.design}/{handle.flow} not DONE"
+        normalize_to_handfp(rows)
+        assert _key_rows(rows) == _key_rows(cold.rows), \
+            "PlacementService rows differ from run_suite rows"
+
+    print(f"PASS: {len(cold.rows)} rows bit-identical across "
+          f"cold store, warm store, and submit/poll; warm workers "
+          f"compiled nothing")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
