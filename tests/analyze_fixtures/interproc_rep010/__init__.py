@@ -1,0 +1,1 @@
+"""REP010 fixture package: views escape while the handle dies."""

@@ -1,0 +1,16 @@
+"""Known-bad: the views outlive the local SharedMemory handle.
+
+``load_views`` returns only the views; nothing keeps ``shm`` alive,
+so the attachment is garbage-collected and the mapping unmapped under
+the views the caller still holds.
+"""
+
+from multiprocessing import shared_memory
+
+from .views import as_view
+
+
+def load_views(name):
+    shm = shared_memory.SharedMemory(name=name)
+    views = as_view(shm)
+    return views

@@ -1,0 +1,9 @@
+"""Helper building read-only views over a caller-owned segment."""
+
+import numpy as np
+
+
+def as_view(shm):
+    view = np.ndarray((4,), dtype=np.float64, buffer=shm.buf)
+    view.flags.writeable = False
+    return view

@@ -1,0 +1,1 @@
+"""REP011 fixture package: writable and mutated shared views."""

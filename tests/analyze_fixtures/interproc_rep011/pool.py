@@ -1,0 +1,11 @@
+"""Service-style entry submitting the flipping worker."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from .workers import worker
+
+
+def run(data):
+    with ProcessPoolExecutor() as pool:
+        future = pool.submit(worker, data)
+    return future

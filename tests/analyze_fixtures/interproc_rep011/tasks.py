@@ -1,0 +1,12 @@
+"""Known-bad: a locked shared view is mutated one hop away."""
+
+import numpy as np
+
+from .helpers import scribble
+
+
+def refresh(shm):
+    view = np.ndarray((4,), dtype=np.float64, buffer=shm.buf)
+    view.flags.writeable = False
+    scribble(view)
+    return view

@@ -1,0 +1,8 @@
+"""Known-bad: a shared view escapes without being locked read-only."""
+
+import numpy as np
+
+
+def expose(shm):
+    view = np.ndarray((4,), dtype=np.float64, buffer=shm.buf)
+    return view

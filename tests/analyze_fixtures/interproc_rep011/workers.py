@@ -1,0 +1,7 @@
+"""Executor payload reaching a writeability flip."""
+
+from .helpers import unprotect
+
+
+def worker(data):
+    return unprotect(data)

@@ -1,0 +1,1 @@
+"""REP012 fixture package: leaks, lost patches, releaseless owners."""

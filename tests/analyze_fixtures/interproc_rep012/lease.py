@@ -1,0 +1,9 @@
+"""Known-bad: the borrowed handle is dropped without a close."""
+
+from .seg import open_segment
+
+
+def fetch(name):
+    shm = open_segment(name)
+    data = bytes(shm.buf[:8])
+    return data

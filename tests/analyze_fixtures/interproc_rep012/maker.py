@@ -1,0 +1,10 @@
+"""Known-bad: an owning handle escapes into a releaseless class."""
+
+from multiprocessing import shared_memory
+
+from .holder import Box
+
+
+def pack():
+    shm = shared_memory.SharedMemory(create=True, size=64)
+    return Box(shm)

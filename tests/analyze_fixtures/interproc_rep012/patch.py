@@ -1,0 +1,11 @@
+"""Known-bad: the tracker monkeypatch is never restored."""
+
+from multiprocessing import resource_tracker
+
+
+def _noop(*args, **kwargs):
+    return None
+
+
+def disable_tracking():
+    resource_tracker.register = _noop

@@ -1,0 +1,8 @@
+"""Helper handing an unpinned handle to its caller."""
+
+from multiprocessing import shared_memory
+
+
+def open_segment(name):
+    shm = shared_memory.SharedMemory(name=name)
+    return shm

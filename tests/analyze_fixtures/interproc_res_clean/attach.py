@@ -1,0 +1,14 @@
+"""The sanctioned pin-and-return attach idiom."""
+
+from multiprocessing import shared_memory
+
+_PINS = {}
+
+
+def attach(name):
+    shm = _PINS.get(name)
+    if shm is not None:
+        return shm
+    shm = shared_memory.SharedMemory(name=name)
+    _PINS[name] = shm
+    return shm

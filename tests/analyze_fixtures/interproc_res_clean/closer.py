@@ -1,0 +1,12 @@
+"""Acquire/release balanced through try/finally."""
+
+from multiprocessing import shared_memory
+
+
+def copy_bytes(name):
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        data = bytes(shm.buf[:4])
+    finally:
+        shm.close()
+    return data

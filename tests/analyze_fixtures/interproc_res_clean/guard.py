@@ -1,0 +1,18 @@
+"""Tracker patch restored in a finally; handle closed after use."""
+
+from multiprocessing import resource_tracker, shared_memory
+
+
+def _noop(*args, **kwargs):
+    return None
+
+
+def quiet_attach(name):
+    original = resource_tracker.register
+    resource_tracker.register = _noop
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+    shm.close()
+    return name

@@ -1,0 +1,13 @@
+"""With-managed executor and a picklable payload."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def task(n):
+    return n + 1
+
+
+def run_jobs():
+    with ProcessPoolExecutor() as pool:
+        future = pool.submit(task, 1)
+    return future.result()

@@ -170,7 +170,7 @@ def test_src_tree_is_analyzer_clean():
 def test_every_rule_is_registered():
     assert set(RULES) == {"REP001", "REP002", "REP003", "REP004",
                           "REP005", "REP006", "REP007", "REP008",
-                          "REP009"}
+                          "REP009", "REP010", "REP011", "REP012"}
 
 
 # -- baseline round-trip through the CLI ------------------------------------
@@ -289,6 +289,119 @@ def test_interproc_clean_fixture_is_silent():
     assert not report.suppressed
 
 
+# -- the resource-lifetime rules (REP010-REP012) ----------------------------
+
+def test_rep010_fires_when_views_outlive_the_handle():
+    # attach.load_views returns views built by views.as_view over a
+    # local SharedMemory handle nothing keeps alive: the finding lands
+    # on the cross-file call site feeding the doomed handle.
+    report = analyze_fixture("interproc_rep010")
+    assert rules_hit(report) == {"REP010"}
+    finding = report.findings[0]
+    assert finding.path.endswith("attach.py")
+    assert "as_view" in finding.message
+    assert "'shm'" in finding.message
+    assert "garbage-collected" in finding.message
+
+
+def test_rep011_flags_unlocked_mutated_and_flipped_views():
+    report = analyze_fixture("interproc_rep011")
+    assert rules_hit(report) == {"REP011"}
+    unlocked = [finding for finding in report.findings
+                if "without flags.writeable" in finding.message]
+    assert unlocked and unlocked[0].path.endswith("views.py")
+    mutated = [finding for finding in report.findings
+               if "is mutated via" in finding.message]
+    # The mutation lives one call-graph hop away in helpers.scribble.
+    assert mutated and mutated[0].path.endswith("helpers.py")
+    assert "tasks.py" in mutated[0].message
+    flipped = [finding for finding in report.findings
+               if "flipped back on" in finding.message]
+    # unprotect is reachable from the pool.run submit payload.
+    assert flipped and flipped[0].path.endswith("helpers.py")
+    assert "worker" in flipped[0].message
+
+
+def test_rep012_flags_leak_lost_patch_and_releaseless_owner():
+    report = analyze_fixture("interproc_rep012")
+    assert rules_hit(report) == {"REP012"}
+    leaks = [finding for finding in report.findings
+             if "not released on every" in finding.message]
+    # fetch borrows the handle from seg.open_segment one hop away.
+    assert leaks and leaks[0].path.endswith("lease.py")
+    patches = [finding for finding in report.findings
+               if "monkeypatched" in finding.message]
+    assert patches and patches[0].path.endswith("patch.py")
+    assert "resource_tracker.register" in patches[0].message
+    owners = [finding for finding in report.findings
+              if "escapes into" in finding.message]
+    assert owners and owners[0].path.endswith("maker.py")
+    assert "Box" in owners[0].message
+
+
+def test_resource_clean_fixture_is_silent():
+    # Pin-and-return attach, locked views, finally-restored patch,
+    # with-managed executor and try/finally close: zero findings.
+    report = analyze_fixture("interproc_res_clean")
+    assert report.ok
+    assert not report.findings
+    assert not report.suppressed
+
+
+def test_rep010_fires_when_the_shm_pin_is_deleted(tmp_path):
+    """The acceptance probe: shm.py minus its pin fails the gate.
+
+    ``_ATTACHED[name] = shm`` is the one line standing between the
+    worker-side views and a use-after-unmap; deleting it in a scratch
+    copy must produce a REP010 finding, and the intact copy must not.
+    """
+    source = (REPO / "src" / "repro" / "service" / "shm.py").read_text()
+    pin = "    _ATTACHED[name] = shm\n"
+    assert pin in source
+    scratch = tmp_path / "src" / "repro" / "service"
+    scratch.mkdir(parents=True)
+    target = scratch / "shm.py"
+
+    target.write_text(source.replace(pin, ""))
+    broken = analyze_paths([str(target)], repo=tmp_path,
+                           context="all", contracts=False)
+    assert "REP010" in rules_hit(broken)
+
+    target.write_text(source)
+    intact = analyze_paths([str(target)], repo=tmp_path,
+                           context="all", contracts=False)
+    assert intact.ok, [finding.location() for finding in intact.findings]
+
+
+def test_strict_suppressions_turn_stale_noqas_into_findings():
+    # suppressed.py carries one used (REP001) and one stale (REP003)
+    # noqa; strict mode converts only the stale one into a finding.
+    relaxed = analyze_fixture("suppressed.py")
+    assert relaxed.ok
+    strict = analyze_fixture("suppressed.py", strict_suppressions=True)
+    assert not strict.ok
+    assert [finding.rule for finding in strict.findings] == ["REP000"]
+    assert strict.findings[0].line == 5
+    assert "REP003" in strict.findings[0].message
+
+
+def test_strict_suppressions_cli_flag_gates(tmp_path, capsys):
+    fixture = str(FIXTURES / "suppressed.py")
+    argv = [fixture, "--context", "all", "--no-contracts", "--no-cache"]
+    assert main(argv) == 0
+    assert main(argv + ["--strict-suppressions"]) == 1
+    capsys.readouterr()
+
+
+def test_json_report_carries_phase_timings():
+    report = analyze_fixture("interproc_rep012")
+    data = to_json_dict(report)
+    assert set(data["perf"]["phase_seconds"]) == {"parse", "effects",
+                                                  "interproc"}
+    assert all(seconds >= 0.0
+               for seconds in data["perf"]["phase_seconds"].values())
+
+
 def test_multiline_statement_suppression_matches_span():
     # The noqa sits on the closing-paren line of a 4-line statement;
     # exact-line matching would miss it and then warn it unused.
@@ -334,8 +447,10 @@ def test_warm_cli_run_is_byte_identical(tmp_path):
     assert warm["cache"]["hits"] > 0
     assert cold["cache"] == {"enabled": True, "hits": 0,
                              "misses": cold["counts"]["files"]}
-    cold.pop("cache")
-    warm.pop("cache")
+    # ``cache`` and ``perf`` are the only run-dependent keys.
+    for report in (cold, warm):
+        report.pop("cache")
+        report.pop("perf")
     assert json.dumps(cold) == json.dumps(warm)
 
 

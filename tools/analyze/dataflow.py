@@ -15,6 +15,9 @@ order so warm-cache and cold runs emit byte-identical findings):
   every call site feeding that parameter; demands hop caller-to-caller
   until satisfied by a constant/seed-named value or refuted by an
   opaque one (REP007 seed provenance).
+* :func:`resource_release_report` — intraprocedural all-paths
+  must-release interpretation of one function's resource skeleton
+  (REP010/REP012 resource lifetime).
 """
 
 from __future__ import annotations
@@ -161,3 +164,153 @@ def propagate_seed_demands(program: Program) -> List[SeedViolation]:
     violations.sort(key=lambda v: (program.relpath_of(v.function),
                                    v.line, v.col))
     return violations
+
+@dataclass
+class ResourceReport:
+    """All-paths release verdicts for one function's resource skeleton.
+
+    ``leaks`` are local acquisitions that can fall off the end of the
+    function (or a return) still open on the non-exception route;
+    ``escapes`` are open handles handed to another call before any
+    release; ``attr_open`` are acquisitions stored on ``self``/module
+    attributes, which the caller must audit at class scope.
+    ``returned`` maps handle names to resource kinds for acquisitions
+    whose ownership transfers to the caller via ``return``;
+    ``pinned_returns`` are returned handles that were first parked in a
+    process-lifetime registry (the sanctioned pin-and-return idiom).
+    """
+
+    leaks: List[Tuple[str, str, int, int]]
+    escapes: List[Tuple[str, int]]
+    attr_open: List[Tuple[str, str, int, int]]
+    returned: Dict[str, str]
+    pinned_returns: Set[str]
+    pinned: Set[str]
+
+
+def _release_vars(ops: Sequence) -> Set[str]:
+    """Handles that a block can release (worst case, any branch)."""
+    released: Set[str] = set()
+    for op in ops:
+        if op[0] in ("rel", "pin"):
+            released.add(op[1])
+        elif op[0] == "if":
+            released |= _release_vars(op[1]) | _release_vars(op[2])
+        elif op[0] == "loop":
+            released |= _release_vars(op[1])
+        elif op[0] == "try":
+            released |= (_release_vars(op[1]) | _release_vars(op[2])
+                         | _release_vars(op[3]))
+    return released
+
+
+def resource_release_report(summary, proxy=None, module_scope=False
+                            ) -> ResourceReport:
+    """Interpret ``summary.skeleton`` for must-release on all paths.
+
+    ``proxy`` maps ``(bound_name, line)`` of call-result bindings to a
+    resource kind, letting the caller treat ``shm = open_segment(n)``
+    as an acquisition when interprocedural analysis shows the callee
+    returns an unpinned handle.  ``module_scope`` relaxes end-of-body
+    leaks: module-level handles are process-lifetime by construction.
+    """
+    proxy = proxy or {}
+    report = ResourceReport(leaks=[], escapes=[], attr_open=[],
+                            returned={}, pinned_returns=set(),
+                            pinned=set())
+
+    def run(ops, state, finals) -> bool:
+        for op in ops:
+            tag = op[0]
+            if tag == "acq":
+                _t, var, kind, line, col, _owner, managed = op
+                if managed:
+                    continue
+                if var is None:
+                    report.leaks.append(("<anonymous>", kind, line,
+                                         col))
+                else:
+                    state[var] = (kind, line, col)
+            elif tag == "acqret":
+                report.returned["<return>"] = op[1]
+            elif tag == "bind":
+                kind = proxy.get((op[1], op[2]))
+                if kind is not None:
+                    state[op[1]] = (kind, op[2], 0)
+            elif tag == "rel":
+                state.pop(op[1], None)
+            elif tag == "pin":
+                report.pinned.add(op[1])
+                state.pop(op[1], None)
+            elif tag == "esc":
+                if op[1] in state:
+                    report.escapes.append((op[1], op[2]))
+                    state.pop(op[1])
+            elif tag == "ret":
+                _t, names, _line = op
+                final = dict(state)
+                for released in finals:
+                    for var in released:
+                        final.pop(var, None)
+                report.pinned_returns.update(
+                    set(names) & report.pinned)
+                for var, (kind, line, col) in final.items():
+                    if var in names:
+                        report.returned[var] = kind
+                    elif "." in var:
+                        report.attr_open.append((var, kind, line,
+                                                 col))
+                    else:
+                        report.leaks.append((var, kind, line, col))
+                return False
+            elif tag == "raise":
+                return False
+            elif tag == "if":
+                then_state, else_state = dict(state), dict(state)
+                then_falls = run(op[1], then_state, finals)
+                else_falls = run(op[2], else_state, finals)
+                if then_falls and else_falls:
+                    state.clear()
+                    state.update(else_state)
+                    state.update(then_state)   # worst-case union
+                elif then_falls:
+                    state.clear()
+                    state.update(then_state)
+                elif else_falls:
+                    state.clear()
+                    state.update(else_state)
+                else:
+                    return False
+            elif tag == "loop":
+                body_state = dict(state)
+                run(op[1], body_state, finals)
+                for var, info in body_state.items():
+                    state.setdefault(var, info)  # zero-or-more trips
+            elif tag == "try":
+                finally_rel = _release_vars(op[3])
+                falls = run(op[1], state, finals + [finally_rel])
+                if falls:
+                    falls = run(op[2], state, finals + [finally_rel])
+                final_falls = run(op[3], state, finals)
+                if not (falls and final_falls):
+                    return False
+        return True
+
+    state: Dict[str, Tuple[str, int, int]] = {}
+    if run(summary.skeleton, state, []):
+        for var, (kind, line, col) in state.items():
+            if "." in var:
+                report.attr_open.append((var, kind, line, col))
+            elif not module_scope:
+                report.leaks.append((var, kind, line, col))
+
+    seen: Set[Tuple[str, int]] = set()
+    deduped = []
+    for var, kind, line, col in report.leaks:
+        if (var, line) not in seen:
+            seen.add((var, line))
+            deduped.append((var, kind, line, col))
+    report.leaks = sorted(deduped, key=lambda x: (x[2], x[3], x[0]))
+    report.escapes.sort(key=lambda x: (x[1], x[0]))
+    report.attr_open.sort(key=lambda x: (x[2], x[3], x[0]))
+    return report

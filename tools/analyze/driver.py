@@ -4,11 +4,13 @@
 ``benchmarks``, ``tools``) parses every ``*.py`` under the targets,
 runs each registered AST rule in its scope, assembles per-function
 effect summaries into a whole-program call graph and runs the
-interprocedural rules (REP007-REP009) over it, applies inline
+interprocedural rules (REP007-REP012) over it, applies inline
 ``# repro: noqa[REPxxx]`` suppressions (matched against the flagged
 statement's full line span) and the committed baseline, runs the
 project rules (REP004 backend-contract introspection), and exits 1 on
-any unbaselined finding.
+any unbaselined finding.  ``--strict-suppressions`` additionally
+turns unused noqa comments into exit-1 findings so stale waivers
+cannot accumulate.
 
 Per-file products (local findings, effect summaries, statement spans)
 are cached under ``.cache/analyze_cache.json`` keyed by content hash,
@@ -25,6 +27,7 @@ from __future__ import annotations
 import argparse
 import ast
 import sys
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -95,10 +98,12 @@ class _FileRecord:
 
 
 def _analyze_file(relpath: str, text: str, lines: Sequence[str],
-                  path: Path, context: str) -> Tuple[
+                  path: Path, context: str,
+                  timings: Optional[Dict[str, float]] = None) -> Tuple[
                       List[Finding], Optional[ModuleSummary],
                       List[Tuple[int, int]]]:
     """Fresh per-file analysis: local findings, summary, spans."""
+    started = time.perf_counter()
     try:
         tree = ast.parse(text, filename=str(path))
     except SyntaxError as error:
@@ -113,14 +118,22 @@ def _analyze_file(relpath: str, text: str, lines: Sequence[str],
         if context != "all" and not rule.applies(relpath):
             continue
         local.extend(rule.check(tree, relpath, lines))
-    return local, summarize_module(tree, relpath), statement_spans(tree)
+    spans = statement_spans(tree)
+    parsed = time.perf_counter()
+    summary = summarize_module(tree, relpath)
+    done = time.perf_counter()
+    if timings is not None:
+        timings["parse"] = timings.get("parse", 0.0) + (parsed - started)
+        timings["effects"] = timings.get("effects", 0.0) + (done - parsed)
+    return local, summary, spans
 
 
 def analyze_paths(targets: Sequence[str] = ("src",), *,
                   repo: Path = REPO, context: str = "auto",
                   contracts: bool = True,
                   baseline_path: Optional[Path] = None,
-                  cache_path: Optional[Path] = None) -> Report:
+                  cache_path: Optional[Path] = None,
+                  strict_suppressions: bool = False) -> Report:
     """Run every rule over ``targets`` and return the full report.
 
     ``context="auto"`` honours each rule's path scope (the production
@@ -129,10 +142,12 @@ def analyze_paths(targets: Sequence[str] = ("src",), *,
     rules).  ``contracts=False`` skips the REP004 registry
     introspection.  ``cache_path`` enables the incremental per-file
     cache (off by default so library callers never write repo state;
-    the CLI turns it on).
+    the CLI turns it on).  ``strict_suppressions`` turns unused noqa
+    comments into REP000 findings so the gate fails on stale waivers.
     """
     _ensure_importable()
-    report = Report(targets=list(targets), context=context)
+    report = Report(targets=list(targets), context=context,
+                    strict_suppressions=strict_suppressions)
     cache = None
     if cache_path is not None:
         report.cache_enabled = True
@@ -160,8 +175,9 @@ def analyze_paths(targets: Sequence[str] = ("src",), *,
         else:
             if cache is not None:
                 report.cache_misses += 1
-            local, summary, spans = _analyze_file(relpath, text, lines,
-                                                  path, context)
+            local, summary, spans = _analyze_file(
+                relpath, text, lines, path, context,
+                timings=report.phase_seconds)
             record.local = local
             record.summary = summary
             record.table.spans = spans
@@ -196,6 +212,7 @@ def analyze_paths(targets: Sequence[str] = ("src",), *,
 
     # Interprocedural phase: always recomputed from the summaries so
     # warm (cache-served) and cold runs emit identical findings.
+    interproc_started = time.perf_counter()
     program = Program(r.summary for r in records
                       if r.summary is not None)
     graph_findings: List[Finding] = []
@@ -205,6 +222,9 @@ def analyze_paths(targets: Sequence[str] = ("src",), *,
     graph_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     for finding in graph_findings:
         admit(finding)
+    report.phase_seconds["interproc"] = (
+        report.phase_seconds.get("interproc", 0.0)
+        + time.perf_counter() - interproc_started)
 
     if contracts:
         for rule in all_rules():
@@ -218,6 +238,15 @@ def analyze_paths(targets: Sequence[str] = ("src",), *,
         for line, code in record.table.unused():
             report.unused_suppressions.append(
                 (record.relpath, line, code))
+            if strict_suppressions:
+                lines = lines_of.get(record.relpath, ())
+                text = (lines[line - 1]
+                        if 0 < line <= len(lines) else "")
+                raw.append((Finding(
+                    "REP000", record.relpath, line, 0,
+                    f"unused suppression repro: noqa[{code}]: no "
+                    f"{code} finding matches this statement; delete "
+                    f"the stale waiver"), text))
 
     entries = baseline_mod.load_baseline(
         baseline_path if baseline_path is not None else DEFAULT_BASELINE)
@@ -231,7 +260,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.analyze",
         description="repro-analyze: determinism & backend-contract "
-                    "static analyzer (rules REP001-REP009)")
+                    "static analyzer (rules REP001-REP012)")
     parser.add_argument("targets", nargs="*",
                         default=list(DEFAULT_TARGETS),
                         help="files or directories (default: "
@@ -243,6 +272,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--no-contracts", action="store_true",
                         help="skip REP004 backend-registry "
                              "introspection")
+    parser.add_argument("--strict-suppressions", action="store_true",
+                        help="unused repro: noqa comments become "
+                             "exit-1 REP000 findings")
     parser.add_argument("--baseline", default=None,
                         help="baseline file (default: "
                              "tools/analyze/baseline.json)")
@@ -275,7 +307,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     report = analyze_paths(
         args.targets, context=args.context,
         contracts=not args.no_contracts, baseline_path=baseline_path,
-        cache_path=cache_path)
+        cache_path=cache_path,
+        strict_suppressions=args.strict_suppressions)
 
     if args.write_baseline:
         target = baseline_path or DEFAULT_BASELINE

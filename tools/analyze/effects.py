@@ -60,6 +60,37 @@ _SEED_TRANSPARENT_CALLS = {"int", "abs", "hash", "str"}
 
 _SELFISH = ("self", "cls")
 
+#: Resource-acquiring constructors, canonical dotted name -> kind
+#: (REP010/REP012).  ``open`` as a bare builtin is special-cased in
+#: :meth:`_FunctionScanner._resource_kind`.
+RESOURCE_CTORS = {
+    "multiprocessing.shared_memory.SharedMemory": "shm",
+    "shared_memory.SharedMemory": "shm",
+    "mmap.mmap": "mmap",
+    "tempfile.mkdtemp": "tempdir",
+    "tempfile.mkstemp": "tempdir",
+    "tempfile.TemporaryDirectory": "tempdir",
+    "tempfile.NamedTemporaryFile": "open",
+    "tempfile.TemporaryFile": "open",
+    "concurrent.futures.ProcessPoolExecutor": "executor",
+    "concurrent.futures.process.ProcessPoolExecutor": "executor",
+    "concurrent.futures.ThreadPoolExecutor": "executor",
+    "concurrent.futures.thread.ThreadPoolExecutor": "executor",
+    "multiprocessing.Pool": "executor",
+    "multiprocessing.pool.Pool": "executor",
+}
+
+#: Receiver methods that release the resource held by the receiver.
+RELEASE_METHODS = {"close", "unlink", "shutdown", "cleanup",
+                   "terminate"}
+
+#: Module functions that release the resource passed as first
+#: argument (``shutil.rmtree(tmp)``, ``os.replace(tmp, dst)``).
+RELEASE_ARG_CALLS = {"rmtree", "replace", "remove", "rmdir", "unlink"}
+
+#: ndarray-view constructors that can wrap a foreign buffer.
+VIEW_CTORS = {"numpy.ndarray", "numpy.frombuffer"}
+
 
 def is_seed_name(name: str) -> bool:
     """Does ``name`` explicitly claim seed provenance?"""
@@ -72,6 +103,22 @@ def base_name(node: ast.AST) -> Optional[str]:
         node = node.value
     if isinstance(node, ast.Name):
         return node.id
+    return None
+
+
+def attr_path(node: ast.AST) -> Optional[str]:
+    """Dotted path of a pure ``Name``/``Attribute`` chain, else None.
+
+    ``self._shm.buf`` -> ``"self._shm.buf"``; anything with a call or
+    subscript in the chain is untrackable and yields ``None``.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
     return None
 
 
@@ -88,12 +135,16 @@ class ArgInfo:
     #: when the argument is a plain function reference.
     callable_ref: Optional[Tuple[str, str]] = None
     is_lambda: bool = False
+    #: Raw dotted path of the argument expression (``"shm"``,
+    #: ``"self._shm"``) — unlike ``alias`` this survives for plain
+    #: locals, which is what resource/view tracking needs.
+    base: Optional[str] = None
 
     def to_dict(self):
         return {"alias": self.alias, "seed": self.seed,
                 "callable_ref": list(self.callable_ref)
                 if self.callable_ref else None,
-                "is_lambda": self.is_lambda}
+                "is_lambda": self.is_lambda, "base": self.base}
 
     @classmethod
     def from_dict(cls, data):
@@ -101,7 +152,8 @@ class ArgInfo:
         return cls(alias=data.get("alias"),
                    seed=data.get("seed", "opaque"),
                    callable_ref=tuple(ref) if ref else None,
-                   is_lambda=bool(data.get("is_lambda")))
+                   is_lambda=bool(data.get("is_lambda")),
+                   base=data.get("base"))
 
 
 @dataclass
@@ -117,6 +169,9 @@ class CallSite:
     kwargs: Dict[str, ArgInfo] = field(default_factory=dict)
     #: Calling-function parameter the method receiver aliases.
     recv_alias: Optional[str] = None
+    #: Assignment target of the call result (``"owner"``,
+    #: ``"self._shm"``), when the call is bound to one.
+    bind: Optional[str] = None
 
     def to_dict(self):
         return {"target": list(self.target), "line": self.line,
@@ -124,7 +179,7 @@ class CallSite:
                 "args": [a.to_dict() for a in self.args],
                 "kwargs": {k: v.to_dict()
                            for k, v in self.kwargs.items()},
-                "recv_alias": self.recv_alias}
+                "recv_alias": self.recv_alias, "bind": self.bind}
 
     @classmethod
     def from_dict(cls, data):
@@ -133,7 +188,8 @@ class CallSite:
                    args=[ArgInfo.from_dict(a) for a in data["args"]],
                    kwargs={k: ArgInfo.from_dict(v)
                            for k, v in data["kwargs"].items()},
-                   recv_alias=data.get("recv_alias"))
+                   recv_alias=data.get("recv_alias"),
+                   bind=data.get("bind"))
 
 
 @dataclass
@@ -157,6 +213,36 @@ class FunctionSummary:
     #: ``[kind, name, line, col]`` payloads of ``.submit(...)`` calls;
     #: kind is ``lambda`` / ``nested`` / ``name`` / ``dotted``.
     submits: List[List] = field(default_factory=list)
+    #: ``[kind, var|None, line, col, owner, managed]`` resource
+    #: acquisitions; ``owner`` marks creating (``create=True``)
+    #: handles, ``managed`` marks ``with``-statement contexts.
+    resources: List[List] = field(default_factory=list)
+    #: ``[base, line]`` release calls (``X.close()``,
+    #: ``shutil.rmtree(X)``) by receiver/argument path.
+    releases: List[List] = field(default_factory=list)
+    #: ``[var, registry, line]`` stores into a module-level registry
+    #: (``_ATTACHED[name] = shm``) — process-lifetime pins.
+    pins: List[List] = field(default_factory=list)
+    #: ``[target, line, col, restored]`` monkeypatch assignments to
+    #: imported-module attributes; ``restored`` = re-assigned inside a
+    #: ``finally`` suite.
+    patches: List[List] = field(default_factory=list)
+    #: ``[var, source, line]`` plain reads of an attribute chain into a
+    #: local (``shm = self._shm``) — handle provenance for REP010.
+    binds: List[List] = field(default_factory=list)
+    #: ``[var, handle, line, col, readonly, escapes]`` ndarray views
+    #: over a shared buffer; ``escapes`` lists ``return`` / ``store`` /
+    #: ``arg`` / ``yield``.
+    views: List[List] = field(default_factory=list)
+    #: ``[base, line, col]`` assignments flipping
+    #: ``X.flags.writeable`` back to writable.
+    flips: List[List] = field(default_factory=list)
+    #: ``[[names...], line]`` per ``return`` statement: every bare
+    #: name appearing in the returned expression.
+    returns: List[List] = field(default_factory=list)
+    #: Nested control/resource skeleton interpreted by
+    #: :func:`tools.analyze.dataflow.resource_release_report`.
+    skeleton: List = field(default_factory=list)
 
     @property
     def is_method(self) -> bool:
@@ -169,7 +255,12 @@ class FunctionSummary:
                 "global_writes": self.global_writes,
                 "clock_reads": self.clock_reads, "rng": self.rng,
                 "calls": [c.to_dict() for c in self.calls],
-                "submits": self.submits}
+                "submits": self.submits,
+                "resources": self.resources,
+                "releases": self.releases, "pins": self.pins,
+                "patches": self.patches, "binds": self.binds,
+                "views": self.views, "flips": self.flips,
+                "returns": self.returns, "skeleton": self.skeleton}
 
     @classmethod
     def from_dict(cls, data):
@@ -182,7 +273,18 @@ class FunctionSummary:
                    rng=[list(r) for r in data["rng"]],
                    calls=[CallSite.from_dict(c)
                           for c in data["calls"]],
-                   submits=[list(s) for s in data["submits"]])
+                   submits=[list(s) for s in data["submits"]],
+                   resources=[list(r)
+                              for r in data.get("resources", [])],
+                   releases=[list(r)
+                             for r in data.get("releases", [])],
+                   pins=[list(p) for p in data.get("pins", [])],
+                   patches=[list(p) for p in data.get("patches", [])],
+                   binds=[list(b) for b in data.get("binds", [])],
+                   views=[list(v) for v in data.get("views", [])],
+                   flips=[list(f) for f in data.get("flips", [])],
+                   returns=[list(r) for r in data.get("returns", [])],
+                   skeleton=data.get("skeleton", []))
 
 
 @dataclass
@@ -319,6 +421,53 @@ class _FunctionScanner:
         self.nested = {node.name for node in _own_nodes(fn)
                        if isinstance(node, (ast.FunctionDef,
                                             ast.AsyncFunctionDef))}
+        self.bind_of = self._bind_targets()
+        self._with_calls, self._with_vars = self._with_contexts()
+        self._final_ids = self._finally_ids()
+
+    def _bind_targets(self) -> Dict[int, str]:
+        """id(call) -> assignment target consuming the call's result."""
+        binds: Dict[int, str] = {}
+        for node in _own_nodes(self.fn):
+            if not isinstance(node, ast.Assign) \
+                    or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute) \
+                    and isinstance(target.value, ast.Name):
+                name = f"{target.value.id}.{target.attr}"
+            else:
+                continue
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Call):
+                    binds[id(sub)] = name
+        return binds
+
+    def _with_contexts(self):
+        """With-managed context calls: auto-released acquisitions."""
+        calls, variables = set(), {}
+        for node in _own_nodes(self.fn):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                if not isinstance(item.context_expr, ast.Call):
+                    continue
+                calls.add(id(item.context_expr))
+                if isinstance(item.optional_vars, ast.Name):
+                    variables[id(item.context_expr)] = \
+                        item.optional_vars.id
+        return calls, variables
+
+    def _finally_ids(self) -> Set[int]:
+        """ids of every node living inside some ``finally`` suite."""
+        ids: Set[int] = set()
+        for node in _own_nodes(self.fn):
+            if isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    ids.update(id(sub) for sub in ast.walk(stmt))
+        return ids
 
     # -- aliasing -----------------------------------------------------------
 
@@ -416,7 +565,8 @@ class _FunctionScanner:
 
     def arg_info(self, expr: ast.AST) -> ArgInfo:
         info = ArgInfo(alias=self.param_alias(expr),
-                       seed=self.seed_class(expr))
+                       seed=self.seed_class(expr),
+                       base=attr_path(expr))
         if isinstance(expr, ast.Lambda):
             info.is_lambda = True
         elif isinstance(expr, ast.Name):
@@ -479,6 +629,7 @@ class _FunctionScanner:
             elif isinstance(node, ast.Call):
                 self._scan_call(node, modules_map, names_map)
         self._scan_rng(modules_map, names_map)
+        self._scan_resources()
         return self.summary
 
     def _scan_store(self, target: ast.AST, node: ast.AST,
@@ -558,6 +709,7 @@ class _FunctionScanner:
                                     if k.arg is not None})
             if target[0] == "method":
                 site.recv_alias = self.param_alias(func.value)
+            site.bind = self.bind_of.get(id(node))
             self.summary.calls.append(site)
 
     def _record_payload(self, payload: ast.AST,
@@ -588,6 +740,295 @@ class _FunctionScanner:
             base = base_name(func.value)
             return ("method", base or "", func.attr)
         return None
+
+    # -- resource lifetime / shared-buffer events (REP010-REP012) -----------
+
+    def _resource_kind(self, node: ast.Call) -> Optional[str]:
+        dotted = _canonical_call(node.func, self.module.modules_map,
+                                 self.module.names_map)
+        if dotted in RESOURCE_CTORS:
+            return RESOURCE_CTORS[dotted]
+        if isinstance(node.func, ast.Name) and node.func.id == "open" \
+                and "open" not in self.module.names_map \
+                and "open" not in self.env:
+            return "open"
+        return None
+
+    def _scan_resources(self) -> None:
+        """Resource events + the control skeleton, in one sweep.
+
+        Builds per-call/per-statement op fragments first (acquire,
+        release, pin, bind, escape), then threads them through the
+        function's statement structure into ``summary.skeleton`` so
+        the dataflow interpreter can prove all-paths release.
+        """
+        mm, nm = self.module.modules_map, self.module.names_map
+        call_ops: Dict[int, List[List]] = {}
+        stmt_ops: Dict[int, List[List]] = {}
+        acq_kinds: Dict[str, str] = {}
+        calls = [node for node in _own_nodes(self.fn)
+                 if isinstance(node, ast.Call)]
+
+        # Acquisitions and releases.
+        for node in calls:
+            ops = call_ops.setdefault(id(node), [])
+            line, col = node.lineno, node.col_offset
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in RELEASE_METHODS:
+                    base = attr_path(func.value)
+                    if base is not None:
+                        self.summary.releases.append([base, line])
+                        ops.append(["rel", base, line])
+                if func.attr in RELEASE_ARG_CALLS and node.args \
+                        and isinstance(node.args[0], ast.Name):
+                    self.summary.releases.append(
+                        [node.args[0].id, line])
+                    ops.append(["rel", node.args[0].id, line])
+            kind = self._resource_kind(node)
+            if kind is not None:
+                managed = id(node) in self._with_calls
+                var = self._with_vars.get(id(node)) \
+                    or self.bind_of.get(id(node))
+                owner = any(kw.arg == "create"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True
+                            for kw in node.keywords)
+                self.summary.resources.append(
+                    [kind, var, line, col, owner, managed])
+                ops.append(["acq", var, kind, line, col, owner,
+                            managed])
+                if var is not None and not managed:
+                    acq_kinds[var] = kind
+            var = self.bind_of.get(id(node))
+            if var is not None:
+                ops.append(["bind", var, line])
+
+        # Shared-buffer views (``np.ndarray(..., buffer=shm.buf)``).
+        for node in calls:
+            dotted = _canonical_call(node.func, mm, nm)
+            if dotted not in VIEW_CTORS:
+                continue
+            buf = None
+            for kw in node.keywords:
+                if kw.arg == "buffer":
+                    buf = kw.value
+            if buf is None and node.args:
+                if dotted.endswith("frombuffer"):
+                    buf = node.args[0]
+                elif len(node.args) >= 3:
+                    buf = node.args[2]
+            path = attr_path(buf) if buf is not None else None
+            if path is None:
+                continue
+            if path.endswith(".buf"):
+                handle = path[:-len(".buf")]
+            elif acq_kinds.get(path) == "mmap":
+                handle = path
+            else:
+                continue
+            var = self.bind_of.get(id(node))
+            if var is not None:
+                self.summary.views.append(
+                    [var, handle, node.lineno, node.col_offset,
+                     False, []])
+
+        # Statement-level events: pins, patches, writeability, stores.
+        readonly: Set[str] = set()
+        stored: Set[str] = set()
+        arg_names: Set[str] = set()
+        yield_names: Set[str] = set()
+        raw_patches: List[Tuple[str, int, int, bool]] = []
+        for node in _own_nodes(self.fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Subscript):
+                    if isinstance(target.value, ast.Name) \
+                            and target.value.id \
+                            in self.module.module_level_names \
+                            and isinstance(node.value, ast.Name):
+                        self.summary.pins.append(
+                            [node.value.id, target.value.id,
+                             node.lineno])
+                        stmt_ops.setdefault(id(node), []).append(
+                            ["pin", node.value.id, node.lineno])
+                    elif isinstance(node.value, ast.Name):
+                        stored.add(node.value.id)
+                elif isinstance(target, ast.Attribute):
+                    if target.attr == "writeable" \
+                            and isinstance(target.value,
+                                           ast.Attribute) \
+                            and target.value.attr == "flags":
+                        base = attr_path(target.value.value)
+                        if base is not None:
+                            if isinstance(node.value, ast.Constant) \
+                                    and node.value.value is False:
+                                readonly.add(base)
+                            else:
+                                self.summary.flips.append(
+                                    [base, node.lineno,
+                                     node.col_offset])
+                        continue
+                    base = base_name(target)
+                    if base is not None \
+                            and base not in self.summary.params \
+                            and (base in nm or base in mm):
+                        path = attr_path(target)
+                        if path is not None:
+                            raw_patches.append(
+                                (path, node.lineno, node.col_offset,
+                                 id(node) in self._final_ids))
+                    if isinstance(node.value, ast.Name):
+                        stored.add(node.value.id)
+            elif isinstance(node, ast.Assign):
+                # ``shm = self._shm`` style reads feed REP010's handle
+                # provenance; multi-target assigns are not tracked.
+                pass
+            elif isinstance(node, ast.Return) \
+                    and node.value is not None:
+                names = sorted({sub.id
+                                for sub in ast.walk(node.value)
+                                if isinstance(sub, ast.Name)})
+                self.summary.returns.append([names, node.lineno])
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)) \
+                    and node.value is not None:
+                yield_names.update(
+                    sub.id for sub in ast.walk(node.value)
+                    if isinstance(sub, ast.Name))
+            elif isinstance(node, ast.Call):
+                for arg in node.args:
+                    if isinstance(arg, ast.Name):
+                        arg_names.add(arg.id)
+                for kw in node.keywords:
+                    if isinstance(kw.value, ast.Name):
+                        arg_names.add(kw.value.id)
+
+        # Plain attribute reads into locals: handle provenance.
+        for node in _own_nodes(self.fn):
+            if isinstance(node, ast.Assign) \
+                    and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and isinstance(node.value, ast.Attribute):
+                path = attr_path(node.value)
+                if path is not None:
+                    self.summary.binds.append(
+                        [node.targets[0].id, path, node.lineno])
+
+        final_targets = {path for path, _l, _c, fin in raw_patches
+                         if fin}
+        for path, line, col, fin in raw_patches:
+            if not fin:
+                self.summary.patches.append(
+                    [path, line, col, path in final_targets])
+
+        # View escape classification.
+        return_names = {name for names, _line in self.summary.returns
+                        for name in names}
+        for view in self.summary.views:
+            var = view[0]
+            view[4] = var in readonly
+            if var in return_names:
+                view[5].append("return")
+            if var in stored:
+                view[5].append("store")
+            if var in arg_names:
+                view[5].append("arg")
+            if var in yield_names:
+                view[5].append("yield")
+
+        # Escape ops: tracked handles passed as bare call arguments.
+        tracked = set(acq_kinds) | set(self.bind_of.values())
+        for node in calls:
+            for arg in list(node.args) + [kw.value
+                                          for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id in tracked:
+                    call_ops.setdefault(id(node), []).append(
+                        ["esc", arg.id, node.lineno])
+
+        self.summary.skeleton = self._skeleton_of(
+            list(getattr(self.fn, "body", [])), call_ops, stmt_ops)
+
+    def _expr_ops(self, node: Optional[ast.AST],
+                  call_ops: Dict[int, List[List]]) -> List[List]:
+        if node is None:
+            return []
+        found = [sub for sub in ast.walk(node)
+                 if isinstance(sub, ast.Call)
+                 and call_ops.get(id(sub))]
+        found.sort(key=lambda c: (c.lineno, c.col_offset))
+        ops: List[List] = []
+        for sub in found:
+            ops.extend(call_ops[id(sub)])
+        return ops
+
+    def _skeleton_of(self, body: List[ast.AST],
+                     call_ops: Dict[int, List[List]],
+                     stmt_ops: Dict[int, List[List]]) -> List[List]:
+        """Statement structure as nested serializable ops."""
+        ops: List[List] = []
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.If):
+                ops.extend(self._expr_ops(stmt.test, call_ops))
+                ops.append(["if",
+                            self._skeleton_of(stmt.body, call_ops,
+                                              stmt_ops),
+                            self._skeleton_of(stmt.orelse, call_ops,
+                                              stmt_ops)])
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                ops.extend(self._expr_ops(stmt.iter, call_ops))
+                ops.append(["loop",
+                            self._skeleton_of(stmt.body, call_ops,
+                                              stmt_ops)])
+                ops.extend(self._skeleton_of(stmt.orelse, call_ops,
+                                             stmt_ops))
+            elif isinstance(stmt, ast.While):
+                ops.extend(self._expr_ops(stmt.test, call_ops))
+                ops.append(["loop",
+                            self._skeleton_of(stmt.body, call_ops,
+                                              stmt_ops)])
+                ops.extend(self._skeleton_of(stmt.orelse, call_ops,
+                                             stmt_ops))
+            elif isinstance(stmt, ast.Try):
+                # Handlers are exception paths; the must-release
+                # analysis only audits the non-exception route
+                # (body -> orelse -> finally).
+                ops.append(["try",
+                            self._skeleton_of(stmt.body, call_ops,
+                                              stmt_ops),
+                            self._skeleton_of(stmt.orelse, call_ops,
+                                              stmt_ops),
+                            self._skeleton_of(stmt.finalbody, call_ops,
+                                              stmt_ops)])
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    ops.extend(self._expr_ops(item.context_expr,
+                                              call_ops))
+                ops.extend(self._skeleton_of(stmt.body, call_ops,
+                                             stmt_ops))
+            elif isinstance(stmt, ast.Return):
+                names: List[str] = []
+                if stmt.value is not None:
+                    names = sorted({sub.id
+                                    for sub in ast.walk(stmt.value)
+                                    if isinstance(sub, ast.Name)})
+                for op in self._expr_ops(stmt.value, call_ops):
+                    if op[0] == "acq" and op[1] is None:
+                        # ``return SharedMemory(...)``: ownership
+                        # transfers to the caller, not a leak.
+                        ops.append(["acqret", op[2], op[3]])
+                    else:
+                        ops.append(op)
+                ops.append(["ret", names, stmt.lineno])
+            elif isinstance(stmt, ast.Raise):
+                ops.extend(self._expr_ops(stmt.exc, call_ops))
+                ops.append(["raise"])
+            else:
+                ops.extend(self._expr_ops(stmt, call_ops))
+                ops.extend(stmt_ops.get(id(stmt), []))
+        return ops
 
     def _scan_rng(self, modules_map, names_map) -> None:
         # RNGs constructed in default-argument expressions are shared

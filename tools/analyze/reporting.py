@@ -27,6 +27,11 @@ class Report:
     cache_enabled: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Wall-clock seconds per analysis phase (parse / effects /
+    #: interproc), for cost-regression tracking in the CI artifact.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: ``--strict-suppressions``: unused noqas become findings.
+    strict_suppressions: bool = False
 
     @property
     def ok(self) -> bool:
@@ -60,6 +65,11 @@ def to_json_dict(report: Report) -> Dict[str, object]:
         "cache": {"enabled": report.cache_enabled,
                   "hits": report.cache_hits,
                   "misses": report.cache_misses},
+        # Likewise timing-dependent: its own key, never in findings.
+        "perf": {"phase_seconds": {
+            phase: round(seconds, 6)
+            for phase, seconds in sorted(
+                report.phase_seconds.items())}},
     }
 
 
@@ -86,10 +96,15 @@ def render_human(report: Report, show_baselined: bool = False) -> str:
              f"{report.cache_misses} miss"
              f"{'es' if report.cache_misses != 1 else ''}"
              if report.cache_enabled else "")
+    phases = ""
+    if report.phase_seconds:
+        phases = ", " + " ".join(
+            f"{phase} {seconds:.2f}s" for phase, seconds
+            in sorted(report.phase_seconds.items()))
     lines.append(
         f"repro-analyze: {counts['findings']} {label} "
         f"({counts['baselined']} baselined, {counts['suppressed']} "
-        f"suppressed) across {counts['files']} files{cache}")
+        f"suppressed) across {counts['files']} files{cache}{phases}")
     return "\n".join(lines)
 
 

@@ -178,7 +178,7 @@ class Rep002SetIteration(Rule):
     title = "unordered set iteration"
     paths = ("src/repro/metrics", "src/repro/slicing",
              "src/repro/shapecurve", "src/repro/floorplan",
-             "src/repro/core")
+             "src/repro/core", "src/repro/service")
 
     def _is_set_expr(self, node: ast.AST, scope: _SetScope) -> bool:
         if isinstance(node, (ast.Set, ast.SetComp)):
